@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Section 6). By default every experiment runs at a laptop
+// scale; raise -scale toward 1 for the paper's sizes.
+//
+// Usage:
+//
+//	experiments [-run name[,name...]] [-scale 0.25] [-seed 1] [-trials 1] [-v]
+//
+// Experiment names: table1, microarray, table2, table3, fig8, fig9,
+// fig10, table4, table5 (or "all").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deltacluster/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment names, or 'all'")
+		scale   = flag.Float64("scale", 0.25, "workload scale (1 = paper size)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 1, "trials to average randomized experiments over")
+		verbose = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:   *scale,
+		Seed:    *seed,
+		Trials:  *trials,
+		Verbose: *verbose,
+		Out:     os.Stderr,
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+
+	ran := 0
+	for _, exp := range experiments.All() {
+		if !all && !want[exp.Name] {
+			continue
+		}
+		ran++
+		tables, err := exp.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", exp.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "rendering %s: %v\n", t.ID, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q; known: ", *run)
+		for i, exp := range experiments.All() {
+			if i > 0 {
+				fmt.Fprint(os.Stderr, ", ")
+			}
+			fmt.Fprint(os.Stderr, exp.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,185 @@
+package deltacluster_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	deltacluster "deltacluster"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow
+// end to end through the public API only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	ds, err := deltacluster.GenerateSynthetic(deltacluster.SyntheticConfig{
+		Rows: 300, Cols: 30, NumClusters: 5,
+		VolumeMean: 125, VolumeVariance: 0, RowColRatio: 5,
+		TargetResidue: 5,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := deltacluster.DefaultFLOCConfig(7, 15)
+	cfg.Seed = 3
+	res, err := deltacluster.FLOC(ds.Matrix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := deltacluster.Significant(res.Clusters, cfg.MaxResidue)
+	if len(sig) == 0 {
+		t.Fatal("no significant clusters")
+	}
+	rec, prec := deltacluster.RecallPrecision(ds.Matrix, ds.Embedded, deltacluster.Specs(sig))
+	if rec < 0.5 || prec < 0.6 {
+		t.Errorf("quality too low: recall=%.3f precision=%.3f", rec, prec)
+	}
+	sum := deltacluster.Summarize(sig)
+	if sum.AvgResidue > cfg.MaxResidue {
+		t.Errorf("significant clusters exceed the residue budget: %v", sum.AvgResidue)
+	}
+}
+
+func TestPublicAPIMatrixIO(t *testing.T) {
+	in := "1,2,\n4,,6\n"
+	m, err := deltacluster.ReadMatrix(strings.NewReader(in), deltacluster.IOOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SpecifiedCount() != 4 {
+		t.Errorf("specified = %d, want 4", m.SpecifiedCount())
+	}
+	var buf bytes.Buffer
+	if err := deltacluster.WriteMatrix(&buf, m, deltacluster.IOOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := deltacluster.ReadMatrix(&buf, deltacluster.IOOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Error("round trip changed the matrix")
+	}
+}
+
+func TestPublicAPIClusterModel(t *testing.T) {
+	// The paper's Figure 1: shifted vectors form a perfect δ-cluster.
+	m, err := deltacluster.MatrixFromRows([][]float64{
+		{1, 5, 23, 12, 20},
+		{11, 15, 33, 22, 30},
+		{111, 115, 133, 122, 130},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := deltacluster.Residue(m, []int{0, 1, 2}, []int{0, 1, 2, 3, 4}); r > 1e-12 {
+		t.Errorf("residue = %v, want 0", r)
+	}
+	c := deltacluster.ClusterFromSpec(m, []int{0, 1}, []int{0, 1, 2})
+	if c.Volume() != 6 {
+		t.Errorf("volume = %d", c.Volume())
+	}
+	if r := deltacluster.PearsonR(m.Row(0), m.Row(1)); math.Abs(r-1) > 1e-12 {
+		t.Errorf("PearsonR = %v, want 1", r)
+	}
+}
+
+func TestPublicAPILogTransform(t *testing.T) {
+	// Amplification coherence: row 1 = 2 × row 0.
+	m, _ := deltacluster.MatrixFromRows([][]float64{
+		{1, 3, 9},
+		{2, 6, 18},
+	})
+	if r := deltacluster.Residue(m, []int{0, 1}, []int{0, 1, 2}); r < 0.1 {
+		t.Fatalf("amplification coherence should NOT be a shifting δ-cluster before the transform (residue %v)", r)
+	}
+	lg, err := deltacluster.LogTransform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := deltacluster.Residue(lg, []int{0, 1}, []int{0, 1, 2}); r > 1e-12 {
+		t.Errorf("post-log residue = %v, want 0", r)
+	}
+}
+
+func TestPublicAPIChengChurch(t *testing.T) {
+	ds, err := deltacluster.GenerateSynthetic(deltacluster.SyntheticConfig{
+		Rows: 100, Cols: 15, NumClusters: 1,
+		VolumeMean: 100, VolumeVariance: 0, RowColRatio: 5,
+		TargetResidue: 2,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := deltacluster.ChengChurch(ds.Matrix, deltacluster.BiclusterConfig{
+		K: 1, Delta: 30, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Biclusters) != 1 {
+		t.Fatalf("biclusters = %d", len(res.Biclusters))
+	}
+}
+
+func TestPublicAPICLIQUEAndAlternative(t *testing.T) {
+	ds, err := deltacluster.GenerateSynthetic(deltacluster.SyntheticConfig{
+		Rows: 120, Cols: 10, NumClusters: 1,
+		VolumeMean: 100, VolumeVariance: 0, RowColRatio: 6,
+		TargetResidue: 1,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := deltacluster.CLIQUE(ds.Matrix, deltacluster.CLIQUEConfig{Xi: 8, Tau: 0.1, MaxDims: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Clusters) == 0 {
+		t.Error("CLIQUE found nothing")
+	}
+	alt, err := deltacluster.AlternativeDeltaClusters(ds.Matrix, deltacluster.AlternativeConfig{
+		Clique: deltacluster.CLIQUEConfig{Xi: 50, Tau: 0.1, MaxDims: 8, MaxUnits: 100000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.DerivedCols != 45 {
+		t.Errorf("derived cols = %d, want 45", alt.DerivedCols)
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	mlCfg := deltacluster.DefaultMovieLensConfig()
+	mlCfg.Users, mlCfg.Movies, mlCfg.Ratings, mlCfg.Groups = 120, 200, 5000, 3
+	ml, err := deltacluster.GenerateMovieLens(mlCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Matrix.Rows() != 120 {
+		t.Error("MovieLens shape wrong")
+	}
+	yCfg := deltacluster.DefaultYeastConfig()
+	yCfg.Genes, yCfg.Modules = 200, 3
+	ye, err := deltacluster.GenerateYeast(yCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ye.Matrix.Cols() != 17 || len(ye.Embedded) != 3 {
+		t.Error("Yeast shape wrong")
+	}
+}
+
+func TestPublicAPIBestMatches(t *testing.T) {
+	ds, _ := deltacluster.GenerateSynthetic(deltacluster.SyntheticConfig{
+		Rows: 100, Cols: 20, NumClusters: 2,
+		VolumeMean: 80, VolumeVariance: 0, RowColRatio: 5,
+		TargetResidue: 1,
+	}, 3)
+	matches := deltacluster.BestMatches(ds.Matrix, ds.Embedded, ds.Embedded)
+	for _, m := range matches {
+		if m.Jaccard != 1 {
+			t.Errorf("self-match Jaccard = %v", m.Jaccard)
+		}
+	}
+}

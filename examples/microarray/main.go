@@ -1,0 +1,94 @@
+// Gene-expression analysis with δ-clusters (the paper's Section
+// 6.1.2): find sets of genes whose expression levels rise and fall
+// coherently under a subset of conditions, and compare FLOC against
+// the Cheng & Church biclustering baseline it generalizes.
+//
+// The data is the yeast microarray stand-in (2884 genes × 17
+// conditions at full scale) with embedded ground-truth modules, so the
+// comparison can report recall and precision in addition to the
+// paper's residue/volume/time claims.
+//
+// Run with:
+//
+//	go run ./examples/microarray [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	deltacluster "deltacluster"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "fraction of the full 2884-gene data set")
+	flag.Parse()
+
+	yCfg := deltacluster.DefaultYeastConfig()
+	yCfg.Genes = int(float64(yCfg.Genes) * *scale)
+	yCfg.Modules = int(float64(yCfg.Modules) * *scale)
+	if yCfg.Modules < 3 {
+		yCfg.Modules = 3
+	}
+	ds, err := deltacluster.GenerateYeast(yCfg, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := ds.Matrix
+	fmt.Printf("microarray: %d genes x %d conditions, %d embedded coherent modules\n\n",
+		m.Rows(), m.Cols(), len(ds.Embedded))
+
+	k := 2 * yCfg.Modules
+	delta := 2.5 * yCfg.NoiseResidue
+
+	// --- FLOC ----------------------------------------------------------
+	fCfg := deltacluster.DefaultFLOCConfig(k, delta)
+	fCfg.Seed = 3
+	fRes, err := deltacluster.FLOC(m, fCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fSig := deltacluster.Significant(fRes.Clusters, delta)
+	fSum := deltacluster.Summarize(fSig)
+	fRec, fPre := deltacluster.RecallPrecision(m, ds.Embedded, deltacluster.Specs(fSig))
+
+	// --- Cheng & Church --------------------------------------------------
+	// The bicluster model scores with the mean *squared* residue; an
+	// arithmetic residue budget r corresponds to MSR ≈ (r/0.8)².
+	msr := (delta / 0.8) * (delta / 0.8)
+	bRes, err := deltacluster.ChengChurch(m, deltacluster.BiclusterConfig{
+		K: k, Delta: msr, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bSum := deltacluster.Summarize(bRes.Biclusters)
+	bRec, bPre := deltacluster.RecallPrecision(m, ds.Embedded, deltacluster.Specs(bRes.Biclusters))
+
+	fmt.Printf("%-22s %12s %14s\n", "", "FLOC", "Cheng&Church")
+	fmt.Printf("%-22s %12.2f %14.2f\n", "avg residue (|r|)", fSum.AvgResidue, bSum.AvgResidue)
+	fmt.Printf("%-22s %12d %14d\n", "aggregate volume", fSum.TotalVolume, bSum.TotalVolume)
+	fmt.Printf("%-22s %12d %14d\n", "clusters", len(fSig), len(bRes.Biclusters))
+	fmt.Printf("%-22s %12v %14v\n", "response time", fRes.Duration.Round(1e6), bRes.Duration.Round(1e6))
+	fmt.Printf("%-22s %12.3f %14.3f\n", "recall", fRec, bRec)
+	fmt.Printf("%-22s %12.3f %14.3f\n", "precision", fPre, bPre)
+
+	// --- Why masking hurts ------------------------------------------------
+	// The paper's critique of [3]: each successive bicluster is mined
+	// from a matrix polluted by random masks. Show how recovery decays
+	// with rank for Cheng&Church but not for FLOC (which maintains all
+	// clusters simultaneously).
+	fmt.Println("\nbest ground-truth match (Jaccard) by discovery rank:")
+	fMatches := deltacluster.BestMatches(m, ds.Embedded, deltacluster.Specs(fSig))
+	bMatches := deltacluster.BestMatches(m, ds.Embedded, deltacluster.Specs(bRes.Biclusters))
+	fmt.Printf("  FLOC:          ")
+	for _, mt := range fMatches {
+		fmt.Printf("%.2f ", mt.Jaccard)
+	}
+	fmt.Printf("\n  Cheng&Church:  ")
+	for _, mt := range bMatches {
+		fmt.Printf("%.2f ", mt.Jaccard)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,101 @@
+// Collaborative filtering with δ-clusters (the paper's Section 6.1.1).
+//
+// Viewers rank movies with personal bias: one viewer's 3 is another's
+// 5 for the same perceived quality. Distance-based clustering misses
+// such pairs entirely; the δ-cluster model groups viewers whose
+// *rating shapes* agree. This example generates the MovieLens 100k
+// stand-in (a sparse 943×1682 ratings matrix — values 1..10, most
+// entries missing), mines δ-clusters with the occupancy threshold
+// α = 0.6 the paper uses, prints Table-1-style statistics, and then
+// demonstrates the paper's motivating application: predicting a
+// missing rating from a cluster's bias structure.
+//
+// Run with:
+//
+//	go run ./examples/movielens [-scale 0.3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	deltacluster "deltacluster"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.3, "fraction of the full 943x1682 data set to generate")
+	flag.Parse()
+
+	cfg := deltacluster.DefaultMovieLensConfig()
+	cfg.Users = int(float64(cfg.Users) * *scale)
+	cfg.Movies = int(float64(cfg.Movies) * *scale)
+	cfg.Ratings = int(float64(cfg.Ratings) * *scale)
+	ds, err := deltacluster.GenerateMovieLens(cfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := ds.Matrix
+	fmt.Printf("ratings matrix: %d viewers x %d movies, %.1f%% rated\n\n",
+		m.Rows(), m.Cols(), 100*m.FillFraction())
+
+	fcfg := deltacluster.DefaultFLOCConfig(8, 1.0) // δ = 1 rating point
+	fcfg.Seed = 11
+	fcfg.Constraints.Occupancy = 0.6 // the paper's α
+	res, err := deltacluster.FLOC(m, fcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusters := deltacluster.Significant(res.Clusters, fcfg.MaxResidue)
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a].Volume() > clusters[b].Volume() })
+
+	fmt.Printf("FLOC: %d iterations, %v, %d significant clusters\n\n",
+		res.Iterations, res.Duration.Round(1e6), len(clusters))
+	fmt.Println("statistics of discovered clusters (compare the paper's Table 1):")
+	fmt.Printf("%-18s %8s %8s %8s %8s %9s\n", "", "volume", "movies", "viewers", "residue", "diameter")
+	for i, c := range clusters {
+		if i == 3 {
+			break
+		}
+		st := c.Stats()
+		fmt.Printf("cluster %-10d %8d %8d %8d %8.2f %9.1f\n",
+			i+1, st.Volume, st.NumCols, st.NumRows, st.Residue, st.Diameter)
+	}
+
+	if len(clusters) == 0 {
+		return
+	}
+
+	// --- Rating prediction (the paper's E-commerce motivation) -------
+	// Hide one known rating inside the largest cluster and predict it
+	// from the cluster's bias structure: the expected value of entry
+	// (i, j) is rowBase_i + colBase_j − clusterBase.
+	c := clusters[0]
+	spec := c.Spec()
+	var ui, mj int
+	found := false
+	for _, i := range spec.Rows {
+		for _, j := range spec.Cols {
+			if m.IsSpecified(i, j) {
+				ui, mj = i, j
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	actual := m.Get(ui, mj)
+	m.SetMissing(ui, mj)
+	pred := deltacluster.ClusterFromSpec(m, spec.Rows, spec.Cols)
+	estimate := pred.RowBase(ui) + pred.ColBase(mj) - pred.Base()
+	fmt.Printf("\nprediction demo: viewer %d's hidden rating of movie %d\n", ui, mj)
+	fmt.Printf("  predicted %.2f from the cluster bias structure, actual %.0f (error %.2f)\n",
+		estimate, actual, math.Abs(estimate-actual))
+}

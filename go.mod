@@ -1,0 +1,3 @@
+module deltacluster
+
+go 1.22

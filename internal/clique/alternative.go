@@ -1,0 +1,175 @@
+package clique
+
+import (
+	"sort"
+	"time"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+)
+
+// AltConfig parameterizes the Section 4.4 alternative δ-cluster
+// algorithm.
+type AltConfig struct {
+	// Clique configures the subspace clustering over the derived
+	// difference matrix.
+	Clique Config
+
+	// MinRows and MinCols drop recovered δ-clusters smaller than this
+	// (defaults 3×3 — below that the clique construction is
+	// vacuous: one derived attribute already connects two original
+	// attributes).
+	MinRows, MinCols int
+}
+
+// AltResult reports the recovered δ-clusters and the cost breakdown.
+type AltResult struct {
+	Clusters []cluster.Spec
+	// DerivedCols is the dimensionality of the derived matrix,
+	// N(N−1)/2 — the source of the blow-up.
+	DerivedCols int
+	// DeriveDuration, CliqueDuration and RecoverDuration split the
+	// response time into the three steps of Section 4.4.
+	DeriveDuration  time.Duration
+	CliqueDuration  time.Duration
+	RecoverDuration time.Duration
+	Duration        time.Duration
+}
+
+// AlternativeDeltaClusters runs the three-step reduction: derive
+// pairwise difference attributes, subspace-cluster the derived matrix
+// with CLIQUE, and turn each subspace cluster's derived attributes
+// into a graph whose maximal cliques are δ-clusters on the original
+// attributes.
+func AlternativeDeltaClusters(m *matrix.Matrix, cfg AltConfig) (*AltResult, error) {
+	if cfg.MinRows == 0 {
+		cfg.MinRows = 3
+	}
+	if cfg.MinCols == 0 {
+		cfg.MinCols = 3
+	}
+	start := time.Now()
+
+	t0 := time.Now()
+	derived, pairs := matrix.DeriveDifferences(m)
+	res := &AltResult{DerivedCols: derived.Cols(), DeriveDuration: time.Since(t0)}
+
+	t1 := time.Now()
+	cliqueRes, err := Run(derived, cfg.Clique)
+	if err != nil {
+		return nil, err
+	}
+	res.CliqueDuration = time.Since(t1)
+
+	t2 := time.Now()
+	seen := map[string]bool{}
+	for _, sc := range cliqueRes.Clusters {
+		// Graph over original attributes: one edge per derived
+		// attribute of the subspace cluster.
+		adj := map[int]map[int]bool{}
+		addEdge := func(a, b int) {
+			if adj[a] == nil {
+				adj[a] = map[int]bool{}
+			}
+			if adj[b] == nil {
+				adj[b] = map[int]bool{}
+			}
+			adj[a][b] = true
+			adj[b][a] = true
+		}
+		for _, d := range sc.Dims {
+			p := pairs[d]
+			addEdge(p[0], p[1])
+		}
+		vertices := make([]int, 0, len(adj))
+		for v := range adj {
+			vertices = append(vertices, v)
+		}
+		sort.Ints(vertices)
+		for _, clq := range maximalCliques(vertices, adj) {
+			if len(clq) < cfg.MinCols || len(sc.Points) < cfg.MinRows {
+				continue
+			}
+			sort.Ints(clq)
+			key := fmtInts(clq) + "|" + fmtInts(sc.Points)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.Clusters = append(res.Clusters, cluster.Spec{
+				Rows: append([]int(nil), sc.Points...),
+				Cols: clq,
+			})
+		}
+	}
+	res.RecoverDuration = time.Since(t2)
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func fmtInts(xs []int) string {
+	b := make([]byte, 0, 4*len(xs))
+	for _, x := range xs {
+		b = append(b, byte(x), byte(x>>8), byte(x>>16), ',')
+	}
+	return string(b)
+}
+
+// maximalCliques enumerates the maximal cliques of the graph with the
+// Bron–Kerbosch algorithm with pivoting.
+func maximalCliques(vertices []int, adj map[int]map[int]bool) [][]int {
+	var out [][]int
+	var bk func(r, p, x []int)
+	bk = func(r, p, x []int) {
+		if len(p) == 0 && len(x) == 0 {
+			out = append(out, append([]int(nil), r...))
+			return
+		}
+		// Pivot: vertex of p∪x with the most neighbours in p.
+		pivot, best := -1, -1
+		for _, set := range [][]int{p, x} {
+			for _, u := range set {
+				cnt := 0
+				for _, v := range p {
+					if adj[u][v] {
+						cnt++
+					}
+				}
+				if cnt > best {
+					best = cnt
+					pivot = u
+				}
+			}
+		}
+		var candidates []int
+		for _, v := range p {
+			if pivot < 0 || !adj[pivot][v] {
+				candidates = append(candidates, v)
+			}
+		}
+		for _, v := range candidates {
+			var np, nx []int
+			for _, u := range p {
+				if adj[v][u] {
+					np = append(np, u)
+				}
+			}
+			for _, u := range x {
+				if adj[v][u] {
+					nx = append(nx, u)
+				}
+			}
+			bk(append(r, v), np, nx)
+			// Move v from p to x.
+			for i, u := range p {
+				if u == v {
+					p = append(p[:i], p[i+1:]...)
+					break
+				}
+			}
+			x = append(x, v)
+		}
+	}
+	bk(nil, append([]int(nil), vertices...), nil)
+	return out
+}

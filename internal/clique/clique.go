@@ -1,0 +1,433 @@
+// Package clique implements the CLIQUE grid-and-density subspace
+// clustering algorithm (Agrawal, Gehrke, Gunopulos, Raghavan — SIGMOD
+// 1998), reference [1] of the δ-cluster paper, together with the
+// paper's Section 4.4 "alternative algorithm" that reduces δ-cluster
+// mining to subspace clustering over pairwise-difference attributes.
+//
+// CLIQUE discretizes every dimension into ξ equal-width bins. A unit
+// (a cell of the grid restricted to a subspace) is dense when it holds
+// at least τ·N of the points. Dense units are mined bottom-up,
+// apriori-style: a candidate k-dimensional unit can only be dense if
+// all of its (k−1)-dimensional projections are. Clusters in each
+// subspace are connected components of dense units under bin
+// adjacency.
+//
+// The alternative δ-cluster algorithm derives N(N−1)/2 difference
+// attributes (A_j1 − A_j2), runs CLIQUE on the derived matrix, and
+// recovers δ-clusters by finding maximal cliques (Bron–Kerbosch) in
+// the graph whose edges are the derived attributes of each subspace
+// cluster — a δ-cluster on m original attributes requires a clique of
+// m vertices, i.e. m(m−1)/2 derived dimensions. The quadratic
+// dimensionality blow-up is the reason the paper's Figure 10 shows
+// this approach losing to FLOC as attributes grow.
+package clique
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+)
+
+// Config parameterizes CLIQUE.
+type Config struct {
+	// Xi is the number of equal-width bins per dimension. Required,
+	// ≥ 1.
+	Xi int
+
+	// Tau is the density threshold as a fraction of the total number
+	// of points. A unit is dense when count ≥ Tau·N. Required, in
+	// (0, 1].
+	Tau float64
+
+	// MaxDims caps the subspace dimensionality explored (0 = no cap).
+	// The candidate lattice is exponential in the worst case; the cap
+	// keeps the alternative-algorithm benchmarks finite while leaving
+	// the asymptotic blow-up observable.
+	MaxDims int
+
+	// MaxUnits aborts the run when the number of dense units in one
+	// level exceeds the bound (0 = no bound), returning an error. It
+	// is a safety valve for the Figure 10 sweep.
+	MaxUnits int
+}
+
+func (c *Config) validate() error {
+	if c.Xi < 1 {
+		return fmt.Errorf("clique: Xi = %d, want ≥ 1", c.Xi)
+	}
+	if !(c.Tau > 0 && c.Tau <= 1) {
+		return fmt.Errorf("clique: Tau = %v, want in (0, 1]", c.Tau)
+	}
+	return nil
+}
+
+// SubspaceCluster is a maximal set of connected dense units in one
+// subspace, with the points falling in any of its units.
+type SubspaceCluster struct {
+	// Dims are the dimensions of the subspace, ascending.
+	Dims []int
+	// Points are the row indices belonging to the cluster, ascending.
+	Points []int
+}
+
+// Result is the output of a CLIQUE run.
+type Result struct {
+	Clusters []SubspaceCluster
+	// DenseUnitsPerLevel reports how many dense units each
+	// dimensionality level produced — the measure of the lattice
+	// blow-up.
+	DenseUnitsPerLevel []int
+	Duration           time.Duration
+}
+
+// unitKey identifies a unit: the subspace dims and one bin per dim.
+type unitKey string
+
+func makeKey(dims, bins []int) unitKey {
+	b := make([]byte, 0, 4*len(dims))
+	for i := range dims {
+		b = append(b, byte(dims[i]), byte(dims[i]>>8), byte(bins[i]), byte(bins[i]>>8))
+	}
+	return unitKey(b)
+}
+
+type unit struct {
+	dims []int
+	bins []int
+}
+
+// Run executes CLIQUE on the rows of m viewed as points with one
+// dimension per column. Missing entries exclude a point from any unit
+// touching that dimension.
+func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := m.Rows()
+	d := m.Cols()
+	if n == 0 || d == 0 {
+		return &Result{Duration: time.Since(start)}, nil
+	}
+	minCount := int(math.Ceil(cfg.Tau * float64(n)))
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// Bin every entry once: binOf[i][j] = bin index, or -1 if missing.
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	binOf := make([][]int16, n)
+	for i := 0; i < n; i++ {
+		row := m.RowView(i)
+		bins := make([]int16, d)
+		for j, v := range row {
+			if math.IsNaN(v) || !(hi[j] > lo[j]) {
+				if math.IsNaN(v) {
+					bins[j] = -1
+				} else {
+					bins[j] = 0
+				}
+				continue
+			}
+			b := int(float64(cfg.Xi) * (v - lo[j]) / (hi[j] - lo[j]))
+			if b == cfg.Xi {
+				b = cfg.Xi - 1
+			}
+			bins[j] = int16(b)
+		}
+		binOf[i] = bins
+	}
+
+	// Level 1: dense 1-dimensional units.
+	var res Result
+	level := make(map[unitKey]unit)
+	counts := make(map[unitKey]int)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			if binOf[i][j] < 0 {
+				continue
+			}
+			k := makeKey([]int{j}, []int{int(binOf[i][j])})
+			counts[k]++
+		}
+	}
+	for j := 0; j < d; j++ {
+		for b := 0; b < cfg.Xi; b++ {
+			k := makeKey([]int{j}, []int{b})
+			if counts[k] >= minCount {
+				level[k] = unit{dims: []int{j}, bins: []int{b}}
+			}
+		}
+	}
+	res.DenseUnitsPerLevel = append(res.DenseUnitsPerLevel, len(level))
+
+	allDense := map[int][]unit{1: unitsOf(level)}
+	dims := 1
+	for len(level) > 0 {
+		if cfg.MaxDims > 0 && dims >= cfg.MaxDims {
+			break
+		}
+		next, err := nextLevel(level, binOf, minCount, cfg.MaxUnits)
+		if err != nil {
+			return nil, err
+		}
+		if len(next) == 0 {
+			break
+		}
+		dims++
+		level = next
+		allDense[dims] = unitsOf(level)
+		res.DenseUnitsPerLevel = append(res.DenseUnitsPerLevel, len(level))
+	}
+
+	// Clusters: per subspace, connected components of dense units.
+	// Keep only maximal subspaces: a cluster in a subspace that is a
+	// strict subset of another cluster's subspace with the same or
+	// larger point set adds nothing; following the original paper we
+	// report components at every level but the callers of this
+	// package (the alternative algorithm, the benchmarks) use the
+	// highest-dimensional ones.
+	for lv := len(res.DenseUnitsPerLevel); lv >= 1; lv-- {
+		clustersAt := connectedComponents(allDense[lv])
+		for _, comp := range clustersAt {
+			pts := pointsOf(comp, binOf)
+			if len(pts) == 0 {
+				continue
+			}
+			res.Clusters = append(res.Clusters, SubspaceCluster{
+				Dims:   append([]int(nil), comp[0].dims...),
+				Points: pts,
+			})
+		}
+	}
+	res.Duration = time.Since(start)
+	return &res, nil
+}
+
+func unitsOf(level map[unitKey]unit) []unit {
+	out := make([]unit, 0, len(level))
+	for _, u := range level {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return makeKey(out[a].dims, out[a].bins) < makeKey(out[b].dims, out[b].bins)
+	})
+	return out
+}
+
+// nextLevel joins dense units sharing all but their last dimension
+// (classic apriori join over dim-sorted units), verifies candidate
+// density by counting points, and apriori-prunes.
+func nextLevel(level map[unitKey]unit, binOf [][]int16, minCount, maxUnits int) (map[unitKey]unit, error) {
+	units := unitsOf(level)
+	// Group units by prefix (all dims+bins except the last pair).
+	prefix := func(u unit) unitKey {
+		return makeKey(u.dims[:len(u.dims)-1], u.bins[:len(u.bins)-1])
+	}
+	groups := make(map[unitKey][]unit)
+	for _, u := range units {
+		groups[prefix(u)] = append(groups[prefix(u)], u)
+	}
+	if maxUnits > 0 {
+		// The join enumerates ~Σ|group|²/2 candidates; abort before
+		// materializing a hopeless blow-up (the quantity Figure 10
+		// demonstrates) rather than after.
+		pairs := 0
+		for _, g := range groups {
+			pairs += len(g) * (len(g) - 1) / 2
+			if pairs > 200*maxUnits {
+				return nil, fmt.Errorf("clique: candidate join of ~%d pairs exceeds budget (MaxUnits=%d)", pairs, maxUnits)
+			}
+		}
+	}
+	type cand struct {
+		dims []int
+		bins []int
+	}
+	var cands []cand
+	for _, g := range groups {
+		for a := 0; a < len(g); a++ {
+			for b := a + 1; b < len(g); b++ {
+				ua, ub := g[a], g[b]
+				la, ba := ua.dims[len(ua.dims)-1], ua.bins[len(ua.bins)-1]
+				lb, bb := ub.dims[len(ub.dims)-1], ub.bins[len(ub.bins)-1]
+				if la == lb {
+					continue // same last dim, different bin: not joinable
+				}
+				if la > lb {
+					la, lb = lb, la
+					ba, bb = bb, ba
+				}
+				dims := append(append([]int(nil), ua.dims[:len(ua.dims)-1]...), la, lb)
+				bins := append(append([]int(nil), ua.bins[:len(ua.bins)-1]...), ba, bb)
+				// Apriori prune: every (k−1)-subset must be dense.
+				if !allSubsetsDense(dims, bins, level) {
+					continue
+				}
+				cands = append(cands, cand{dims: dims, bins: bins})
+			}
+		}
+	}
+	// Count candidate support in one pass over the points.
+	next := make(map[unitKey]unit)
+	if len(cands) == 0 {
+		return next, nil
+	}
+	counts := make(map[unitKey]int, len(cands))
+	keys := make([]unitKey, len(cands))
+	for ci, c := range cands {
+		keys[ci] = makeKey(c.dims, c.bins)
+	}
+	for _, bins := range binOf {
+		for ci, c := range cands {
+			match := true
+			for di, dim := range c.dims {
+				if int(bins[dim]) != c.bins[di] {
+					match = false
+					break
+				}
+			}
+			if match {
+				counts[keys[ci]]++
+			}
+		}
+	}
+	for ci, c := range cands {
+		if counts[keys[ci]] >= minCount {
+			next[keys[ci]] = unit{dims: c.dims, bins: c.bins}
+			if maxUnits > 0 && len(next) > maxUnits {
+				return nil, fmt.Errorf("clique: dense-unit count exceeded MaxUnits=%d at %d dims", maxUnits, len(c.dims))
+			}
+		}
+	}
+	return next, nil
+}
+
+// allSubsetsDense checks the apriori condition: dropping any one
+// dimension of the candidate leaves a dense unit.
+func allSubsetsDense(dims, bins []int, level map[unitKey]unit) bool {
+	k := len(dims)
+	sub := make([]int, 0, k-1)
+	subBins := make([]int, 0, k-1)
+	for drop := 0; drop < k; drop++ {
+		sub = sub[:0]
+		subBins = subBins[:0]
+		for i := 0; i < k; i++ {
+			if i == drop {
+				continue
+			}
+			sub = append(sub, dims[i])
+			subBins = append(subBins, bins[i])
+		}
+		if _, ok := level[makeKey(sub, subBins)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// connectedComponents groups units of one level into per-subspace
+// adjacency components (two units are adjacent when they share the
+// subspace and differ by exactly one in exactly one bin).
+func connectedComponents(units []unit) [][]unit {
+	// Group by subspace first.
+	bySubspace := make(map[string][]unit)
+	for _, u := range units {
+		k := fmt.Sprint(u.dims)
+		bySubspace[k] = append(bySubspace[k], u)
+	}
+	var comps [][]unit
+	for _, group := range bySubspace {
+		n := len(group)
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			if parent[x] != x {
+				parent[x] = find(parent[x])
+			}
+			return parent[x]
+		}
+		union := func(a, b int) { parent[find(a)] = find(b) }
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if adjacent(group[a], group[b]) {
+					union(a, b)
+				}
+			}
+		}
+		byRoot := map[int][]unit{}
+		for i, u := range group {
+			byRoot[find(i)] = append(byRoot[find(i)], u)
+		}
+		for _, comp := range byRoot {
+			comps = append(comps, comp)
+		}
+	}
+	return comps
+}
+
+func adjacent(a, b unit) bool {
+	diff := 0
+	for i := range a.bins {
+		d := a.bins[i] - b.bins[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1 {
+			return false
+		}
+		diff += d
+	}
+	return diff == 1
+}
+
+// pointsOf returns the rows falling in any unit of the component.
+func pointsOf(comp []unit, binOf [][]int16) []int {
+	var pts []int
+	for i, bins := range binOf {
+		for _, u := range comp {
+			match := true
+			for di, dim := range u.dims {
+				if int(bins[dim]) != u.bins[di] {
+					match = false
+					break
+				}
+			}
+			if match {
+				pts = append(pts, i)
+				break
+			}
+		}
+	}
+	return pts
+}
+
+// Spec converts a subspace cluster into a δ-cluster spec on m.
+func (s SubspaceCluster) Spec() cluster.Spec {
+	return cluster.Spec{Rows: append([]int(nil), s.Points...), Cols: append([]int(nil), s.Dims...)}
+}

@@ -1,0 +1,249 @@
+package clique
+
+import (
+	"sort"
+	"testing"
+
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/paperdata"
+	"deltacluster/internal/stats"
+	"deltacluster/internal/synth"
+)
+
+func TestValidation(t *testing.T) {
+	m, _ := matrix.NewFromRows([][]float64{{1, 2}})
+	if _, err := Run(m, Config{Xi: 0, Tau: 0.1}); err == nil {
+		t.Error("Xi=0 accepted")
+	}
+	if _, err := Run(m, Config{Xi: 5, Tau: 0}); err == nil {
+		t.Error("Tau=0 accepted")
+	}
+	if _, err := Run(m, Config{Xi: 5, Tau: 1.5}); err == nil {
+		t.Error("Tau>1 accepted")
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	res, err := Run(matrix.New(0, 0), Config{Xi: 4, Tau: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 0 {
+		t.Error("clusters from an empty matrix")
+	}
+}
+
+// Two well-separated blobs in 2-D: CLIQUE must find two clusters in
+// the full space.
+func TestTwoBlobs(t *testing.T) {
+	g := stats.NewRNG(1)
+	m := matrix.New(200, 2)
+	for i := 0; i < 100; i++ {
+		m.Set(i, 0, g.Uniform(0, 1))
+		m.Set(i, 1, g.Uniform(0, 1))
+	}
+	for i := 100; i < 200; i++ {
+		m.Set(i, 0, g.Uniform(9, 10))
+		m.Set(i, 1, g.Uniform(9, 10))
+	}
+	res, err := Run(m, Config{Xi: 10, Tau: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find 2-D clusters.
+	var twoD []SubspaceCluster
+	for _, c := range res.Clusters {
+		if len(c.Dims) == 2 {
+			twoD = append(twoD, c)
+		}
+	}
+	if len(twoD) != 2 {
+		t.Fatalf("found %d 2-D clusters, want 2", len(twoD))
+	}
+	sizes := []int{len(twoD[0].Points), len(twoD[1].Points)}
+	sort.Ints(sizes)
+	if sizes[0] < 80 || sizes[1] > 120 {
+		t.Errorf("cluster sizes %v, want ≈100 each", sizes)
+	}
+}
+
+// A dense line along one dimension embedded in uniform noise on the
+// other: the subspace {0} holds a cluster that the full space does
+// not support at high Tau.
+func TestSubspaceOnlyCluster(t *testing.T) {
+	g := stats.NewRNG(2)
+	m := matrix.New(300, 2)
+	for i := 0; i < 300; i++ {
+		if i < 150 {
+			m.Set(i, 0, g.Uniform(5.0, 5.08)) // packed inside one grid bin of dim 0
+		} else {
+			m.Set(i, 0, g.Uniform(0, 10))
+		}
+		m.Set(i, 1, g.Uniform(0, 10)) // uniform in dim 1
+	}
+	res, err := Run(m, Config{Xi: 10, Tau: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range res.Clusters {
+		if len(c.Dims) == 1 && c.Dims[0] == 0 && len(c.Points) >= 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("1-D subspace cluster in dim 0 not found")
+	}
+}
+
+func TestDenseUnitsPerLevelMonotoneStart(t *testing.T) {
+	g := stats.NewRNG(3)
+	m := matrix.New(100, 3)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, g.Uniform(0, 1))
+		}
+	}
+	res, err := Run(m, Config{Xi: 2, Tau: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DenseUnitsPerLevel) == 0 || res.DenseUnitsPerLevel[0] == 0 {
+		t.Error("no dense 1-D units on uniform data with permissive Tau")
+	}
+}
+
+func TestMaxDimsCap(t *testing.T) {
+	g := stats.NewRNG(4)
+	m := matrix.New(50, 6)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, g.Uniform(0, 1))
+		}
+	}
+	res, err := Run(m, Config{Xi: 1, Tau: 0.01, MaxDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clusters {
+		if len(c.Dims) > 2 {
+			t.Fatalf("cluster with %d dims despite MaxDims=2", len(c.Dims))
+		}
+	}
+	if len(res.DenseUnitsPerLevel) > 2 {
+		t.Errorf("explored %d levels despite MaxDims=2", len(res.DenseUnitsPerLevel))
+	}
+}
+
+func TestMaxUnitsGuard(t *testing.T) {
+	g := stats.NewRNG(5)
+	m := matrix.New(60, 8)
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 8; j++ {
+			m.Set(i, j, g.Uniform(0, 1))
+		}
+	}
+	// Xi=1 makes every unit dense; level k has C(8,k) units, so the
+	// guard must trip.
+	if _, err := Run(m, Config{Xi: 1, Tau: 0.01, MaxUnits: 10}); err == nil {
+		t.Error("MaxUnits guard did not trip")
+	}
+}
+
+func TestMissingValuesExcludePoints(t *testing.T) {
+	m := matrix.New(10, 1)
+	for i := 0; i < 5; i++ {
+		m.Set(i, 0, 0.5)
+	}
+	// rows 5..9 stay missing
+	res, err := Run(m, Config{Xi: 2, Tau: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clusters {
+		for _, p := range c.Points {
+			if p >= 5 {
+				t.Fatalf("point %d with missing value included", p)
+			}
+		}
+	}
+}
+
+// The worked example of Section 4.4 / Figure 7: on the derived matrix
+// of the yeast excerpt, genes VPS8, EFB1 and CYS3 form a subspace
+// cluster over the derived attributes 1I-1D, 1I-2B and 1D-2B, whose
+// graph is a triangle over the conditions CH1I, CH1D, CH2B — exactly
+// the δ-cluster of Figure 4(b).
+func TestFigure7Alternative(t *testing.T) {
+	m := paperdata.Figure4Matrix()
+	res, err := AlternativeDeltaClusters(m, AltConfig{
+		Clique: Config{Xi: 40, Tau: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{0: true, 2: true, 4: true} // CH1I, CH1D, CH2B
+	found := false
+	for _, spec := range res.Clusters {
+		cols := map[int]bool{}
+		for _, c := range spec.Cols {
+			cols[c] = true
+		}
+		rows := map[int]bool{}
+		for _, r := range spec.Rows {
+			rows[r] = true
+		}
+		if cols[0] && cols[2] && cols[4] && rows[1] && rows[2] && rows[7] {
+			found = true
+			_ = want
+			break
+		}
+	}
+	if !found {
+		t.Errorf("Figure 4(b) δ-cluster not recovered; got %d clusters", len(res.Clusters))
+	}
+	if res.DerivedCols != 10 {
+		t.Errorf("derived cols = %d, want 10", res.DerivedCols)
+	}
+}
+
+func TestAlternativeOnSynthetic(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Rows: 150, Cols: 12, NumClusters: 2,
+		VolumeMean: 120, VolumeVariance: 0, RowColRatio: 6,
+		TargetResidue: 1,
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AlternativeDeltaClusters(ds.Matrix, AltConfig{
+		Clique: Config{Xi: 60, Tau: 0.1, MaxDims: 8, MaxUnits: 100000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Error("alternative algorithm found nothing on easy synthetic data")
+	}
+	if res.DerivedCols != 12*11/2 {
+		t.Errorf("derived cols = %d", res.DerivedCols)
+	}
+}
+
+func TestBronKerboschTrianglePlusEdge(t *testing.T) {
+	adj := map[int]map[int]bool{
+		1: {2: true, 3: true},
+		2: {1: true, 3: true},
+		3: {1: true, 2: true, 4: true},
+		4: {3: true},
+	}
+	cliques := maximalCliques([]int{1, 2, 3, 4}, adj)
+	if len(cliques) != 2 {
+		t.Fatalf("found %d maximal cliques, want 2 (triangle + edge)", len(cliques))
+	}
+	sizes := []int{len(cliques[0]), len(cliques[1])}
+	sort.Ints(sizes)
+	if sizes[0] != 2 || sizes[1] != 3 {
+		t.Errorf("clique sizes %v, want [2 3]", sizes)
+	}
+}

@@ -1,0 +1,523 @@
+// Package cluster implements the δ-cluster model of Section 3 of the
+// paper: a submatrix identified by a subset of objects (rows) and a
+// subset of attributes (columns) of a data matrix that may contain
+// missing values.
+//
+// The package maintains the sums and counts needed to evaluate the
+// model's quantities incrementally:
+//
+//   - the base of an object d_iJ (mean of its specified entries over
+//     the cluster's columns), of an attribute d_Ij, and of the cluster
+//     d_IJ (Definition 3.3);
+//   - the residue r_ij = d_ij − d_iJ − d_Ij + d_IJ of a specified
+//     entry, and 0 for a missing entry (Definition 3.4);
+//   - the cluster residue: the arithmetic mean of |r_ij| over the
+//     cluster's volume, i.e. its specified entries (Definition 3.5),
+//     with the squared mean of Cheng & Church available as an option;
+//   - the volume (Definition 3.2) and the occupancy condition on α
+//     (Definition 3.1).
+//
+// Adding or removing one row (column) costs O(columns) (O(rows));
+// computing the residue costs O(volume), matching the complexity
+// analysis in Section 4.2 of the paper.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deltacluster/internal/matrix"
+)
+
+// ResidueMean selects how per-entry residues are aggregated into the
+// cluster residue.
+type ResidueMean int
+
+const (
+	// ArithmeticMean averages |r_ij| — the paper's choice
+	// (Definition 3.5).
+	ArithmeticMean ResidueMean = iota
+	// SquaredMean averages r_ij² — the mean squared residue of the
+	// bicluster model the paper generalizes.
+	SquaredMean
+)
+
+// Cluster is a mutable δ-cluster over a fixed data matrix. The zero
+// value is unusable; construct with New or FromSpec. A Cluster holds a
+// reference to the matrix and assumes the matrix entries do not change
+// while the cluster is alive (the FLOC engine, the generators and the
+// examples all follow this discipline).
+type Cluster struct {
+	m *matrix.Matrix
+
+	rowPos     []int // position of row in memberRows, or -1
+	colPos     []int
+	memberRows []int
+	memberCols []int
+
+	rowSum []float64 // per matrix row: sum of specified entries over member cols
+	rowCnt []int
+	colSum []float64
+	colCnt []int
+
+	total  float64 // sum of all specified entries in the submatrix
+	volume int     // count of specified entries in the submatrix
+}
+
+// New returns an empty δ-cluster over m.
+func New(m *matrix.Matrix) *Cluster {
+	c := &Cluster{
+		m:      m,
+		rowPos: make([]int, m.Rows()),
+		colPos: make([]int, m.Cols()),
+		rowSum: make([]float64, m.Rows()),
+		rowCnt: make([]int, m.Rows()),
+		colSum: make([]float64, m.Cols()),
+		colCnt: make([]int, m.Cols()),
+	}
+	for i := range c.rowPos {
+		c.rowPos[i] = -1
+	}
+	for j := range c.colPos {
+		c.colPos[j] = -1
+	}
+	return c
+}
+
+// FromSpec returns a cluster over m populated with the given rows and
+// columns. Duplicate indices are ignored; out-of-range indices panic.
+func FromSpec(m *matrix.Matrix, rows, cols []int) *Cluster {
+	c := New(m)
+	for _, j := range cols {
+		if !c.HasCol(j) {
+			c.AddCol(j)
+		}
+	}
+	for _, i := range rows {
+		if !c.HasRow(i) {
+			c.AddRow(i)
+		}
+	}
+	return c
+}
+
+// Matrix returns the underlying data matrix.
+func (c *Cluster) Matrix() *matrix.Matrix { return c.m }
+
+// HasRow reports whether matrix row i is a member.
+func (c *Cluster) HasRow(i int) bool { return c.rowPos[i] >= 0 }
+
+// HasCol reports whether matrix column j is a member.
+func (c *Cluster) HasCol(j int) bool { return c.colPos[j] >= 0 }
+
+// NumRows returns the number of member rows (|I|).
+func (c *Cluster) NumRows() int { return len(c.memberRows) }
+
+// NumCols returns the number of member columns (|J|).
+func (c *Cluster) NumCols() int { return len(c.memberCols) }
+
+// Volume returns the number of specified entries in the submatrix
+// (Definition 3.2).
+func (c *Cluster) Volume() int { return c.volume }
+
+// Rows returns the member row indices in ascending order.
+func (c *Cluster) Rows() []int {
+	out := append([]int(nil), c.memberRows...)
+	sort.Ints(out)
+	return out
+}
+
+// Cols returns the member column indices in ascending order.
+func (c *Cluster) Cols() []int {
+	out := append([]int(nil), c.memberCols...)
+	sort.Ints(out)
+	return out
+}
+
+// AddRow inserts matrix row i. It panics if i is already a member.
+func (c *Cluster) AddRow(i int) {
+	if c.rowPos[i] >= 0 {
+		panic(fmt.Sprintf("cluster: AddRow(%d): already a member", i))
+	}
+	c.rowPos[i] = len(c.memberRows)
+	c.memberRows = append(c.memberRows, i)
+	row := c.m.RowView(i)
+	for _, j := range c.memberCols {
+		v := row[j]
+		if math.IsNaN(v) {
+			continue
+		}
+		c.rowSum[i] += v
+		c.rowCnt[i]++
+		c.colSum[j] += v
+		c.colCnt[j]++
+		c.total += v
+		c.volume++
+	}
+}
+
+// RemoveRow removes matrix row i. It panics if i is not a member.
+func (c *Cluster) RemoveRow(i int) {
+	pos := c.rowPos[i]
+	if pos < 0 {
+		panic(fmt.Sprintf("cluster: RemoveRow(%d): not a member", i))
+	}
+	last := len(c.memberRows) - 1
+	moved := c.memberRows[last]
+	c.memberRows[pos] = moved
+	c.rowPos[moved] = pos
+	c.memberRows = c.memberRows[:last]
+	c.rowPos[i] = -1
+
+	row := c.m.RowView(i)
+	for _, j := range c.memberCols {
+		v := row[j]
+		if math.IsNaN(v) {
+			continue
+		}
+		c.colSum[j] -= v
+		c.colCnt[j]--
+		c.total -= v
+		c.volume--
+	}
+	c.rowSum[i] = 0
+	c.rowCnt[i] = 0
+}
+
+// AddCol inserts matrix column j. It panics if j is already a member.
+func (c *Cluster) AddCol(j int) {
+	if c.colPos[j] >= 0 {
+		panic(fmt.Sprintf("cluster: AddCol(%d): already a member", j))
+	}
+	c.colPos[j] = len(c.memberCols)
+	c.memberCols = append(c.memberCols, j)
+	for _, i := range c.memberRows {
+		v := c.m.RowView(i)[j]
+		if math.IsNaN(v) {
+			continue
+		}
+		c.rowSum[i] += v
+		c.rowCnt[i]++
+		c.colSum[j] += v
+		c.colCnt[j]++
+		c.total += v
+		c.volume++
+	}
+}
+
+// RemoveCol removes matrix column j. It panics if j is not a member.
+func (c *Cluster) RemoveCol(j int) {
+	pos := c.colPos[j]
+	if pos < 0 {
+		panic(fmt.Sprintf("cluster: RemoveCol(%d): not a member", j))
+	}
+	last := len(c.memberCols) - 1
+	moved := c.memberCols[last]
+	c.memberCols[pos] = moved
+	c.colPos[moved] = pos
+	c.memberCols = c.memberCols[:last]
+	c.colPos[j] = -1
+
+	for _, i := range c.memberRows {
+		v := c.m.RowView(i)[j]
+		if math.IsNaN(v) {
+			continue
+		}
+		c.rowSum[i] -= v
+		c.rowCnt[i]--
+		c.total -= v
+		c.volume--
+	}
+	c.colSum[j] = 0
+	c.colCnt[j] = 0
+}
+
+// ToggleRow adds row i if absent and removes it otherwise — the
+// paper's Action(x, c) for a row (Section 4.1).
+func (c *Cluster) ToggleRow(i int) {
+	if c.HasRow(i) {
+		c.RemoveRow(i)
+	} else {
+		c.AddRow(i)
+	}
+}
+
+// ToggleCol adds column j if absent and removes it otherwise.
+func (c *Cluster) ToggleCol(j int) {
+	if c.HasCol(j) {
+		c.RemoveCol(j)
+	} else {
+		c.AddCol(j)
+	}
+}
+
+// Base returns the cluster base d_IJ: the mean of all specified
+// entries of the submatrix, or NaN when the volume is 0.
+func (c *Cluster) Base() float64 {
+	if c.volume == 0 {
+		return math.NaN()
+	}
+	return c.total / float64(c.volume)
+}
+
+// RowBase returns the object base d_iJ of member row i, or NaN when
+// the row has no specified entries in the cluster. It panics if i is
+// not a member.
+func (c *Cluster) RowBase(i int) float64 {
+	if c.rowPos[i] < 0 {
+		panic(fmt.Sprintf("cluster: RowBase(%d): not a member", i))
+	}
+	if c.rowCnt[i] == 0 {
+		return math.NaN()
+	}
+	return c.rowSum[i] / float64(c.rowCnt[i])
+}
+
+// ColBase returns the attribute base d_Ij of member column j, or NaN
+// when the column has no specified entries in the cluster. It panics
+// if j is not a member.
+func (c *Cluster) ColBase(j int) float64 {
+	if c.colPos[j] < 0 {
+		panic(fmt.Sprintf("cluster: ColBase(%d): not a member", j))
+	}
+	if c.colCnt[j] == 0 {
+		return math.NaN()
+	}
+	return c.colSum[j] / float64(c.colCnt[j])
+}
+
+// EntryResidue returns r_ij for a member entry: d_ij − d_iJ − d_Ij +
+// d_IJ when the entry is specified, 0 otherwise (Definition 3.4). It
+// panics if (i, j) is not inside the cluster.
+func (c *Cluster) EntryResidue(i, j int) float64 {
+	if c.rowPos[i] < 0 || c.colPos[j] < 0 {
+		panic(fmt.Sprintf("cluster: EntryResidue(%d, %d): outside the cluster", i, j))
+	}
+	v := c.m.RowView(i)[j]
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v - c.rowSum[i]/float64(c.rowCnt[i]) - c.colSum[j]/float64(c.colCnt[j]) + c.total/float64(c.volume)
+}
+
+// Residue returns the cluster residue under the arithmetic mean
+// (Definition 3.5). An empty cluster (volume 0) has residue 0: it
+// exhibits no incoherence. Cost: O(volume).
+func (c *Cluster) Residue() float64 { return c.ResidueWith(ArithmeticMean) }
+
+// ResidueWith returns the cluster residue under the chosen mean.
+func (c *Cluster) ResidueWith(mean ResidueMean) float64 {
+	if c.volume == 0 {
+		return 0
+	}
+	base := c.total / float64(c.volume)
+	sum := 0.0
+	for _, i := range c.memberRows {
+		if c.rowCnt[i] == 0 {
+			continue
+		}
+		rowBase := c.rowSum[i] / float64(c.rowCnt[i])
+		row := c.m.RowView(i)
+		for _, j := range c.memberCols {
+			v := row[j]
+			if math.IsNaN(v) {
+				continue
+			}
+			r := v - rowBase - c.colSum[j]/float64(c.colCnt[j]) + base
+			if mean == SquaredMean {
+				sum += r * r
+			} else {
+				sum += math.Abs(r)
+			}
+		}
+	}
+	return sum / float64(c.volume)
+}
+
+// SatisfiesOccupancy reports whether every member row and column meets
+// the occupancy threshold α of Definition 3.1: each member row must
+// have specified values on at least α·|J| of the cluster's columns and
+// each member column on at least α·|I| of the cluster's rows. An
+// empty cluster trivially satisfies any α.
+func (c *Cluster) SatisfiesOccupancy(alpha float64) bool {
+	nRows, nCols := len(c.memberRows), len(c.memberCols)
+	if nRows == 0 || nCols == 0 {
+		return true
+	}
+	for _, i := range c.memberRows {
+		if float64(c.rowCnt[i]) < alpha*float64(nCols) {
+			return false
+		}
+	}
+	for _, j := range c.memberCols {
+		if float64(c.colCnt[j]) < alpha*float64(nRows) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the diagonal length of the minimum bounding box of
+// the member rows viewed as points in the subspace of member columns,
+// the statistic Table 1 reports. Missing entries are ignored per
+// dimension; dimensions with fewer than one specified value contribute
+// 0. An empty cluster has diameter 0.
+func (c *Cluster) Diameter() float64 {
+	if len(c.memberRows) == 0 || len(c.memberCols) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, j := range c.memberCols {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, i := range c.memberRows {
+			v := c.m.RowView(i)[j]
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			d := hi - lo
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// Overlap returns the number of matrix cells (specified or not) shared
+// by the submatrices of c and o: |I∩I'| × |J∩J'|. The FLOC overlap
+// constraint is expressed against this count.
+func (c *Cluster) Overlap(o *Cluster) int {
+	rows := 0
+	a, b := c, o
+	if len(b.memberRows) < len(a.memberRows) {
+		a, b = b, a
+	}
+	for _, i := range a.memberRows {
+		if b.rowPos[i] >= 0 {
+			rows++
+		}
+	}
+	cols := 0
+	a, b = c, o
+	if len(b.memberCols) < len(a.memberCols) {
+		a, b = b, a
+	}
+	for _, j := range a.memberCols {
+		if b.colPos[j] >= 0 {
+			cols++
+		}
+	}
+	return rows * cols
+}
+
+// Clone returns an independent copy sharing the same data matrix.
+func (c *Cluster) Clone() *Cluster {
+	return &Cluster{
+		m:          c.m,
+		rowPos:     append([]int(nil), c.rowPos...),
+		colPos:     append([]int(nil), c.colPos...),
+		memberRows: append([]int(nil), c.memberRows...),
+		memberCols: append([]int(nil), c.memberCols...),
+		rowSum:     append([]float64(nil), c.rowSum...),
+		rowCnt:     append([]int(nil), c.rowCnt...),
+		colSum:     append([]float64(nil), c.colSum...),
+		colCnt:     append([]int(nil), c.colCnt...),
+		total:      c.total,
+		volume:     c.volume,
+	}
+}
+
+// CopyFrom makes c an exact copy of o (which must be over the same
+// matrix shape). It reuses c's storage, so restoring a checkpoint in
+// the FLOC engine does not allocate.
+func (c *Cluster) CopyFrom(o *Cluster) {
+	c.m = o.m
+	copy(c.rowPos, o.rowPos)
+	copy(c.colPos, o.colPos)
+	c.memberRows = append(c.memberRows[:0], o.memberRows...)
+	c.memberCols = append(c.memberCols[:0], o.memberCols...)
+	copy(c.rowSum, o.rowSum)
+	copy(c.rowCnt, o.rowCnt)
+	copy(c.colSum, o.colSum)
+	copy(c.colCnt, o.colCnt)
+	c.total = o.total
+	c.volume = o.volume
+}
+
+// Recompute rebuilds all aggregates from the matrix. Incremental
+// updates accumulate floating-point drift over very long runs; the
+// FLOC engine calls Recompute at iteration boundaries so that reported
+// residues are exact.
+func (c *Cluster) Recompute() {
+	for _, i := range c.memberRows {
+		c.rowSum[i] = 0
+		c.rowCnt[i] = 0
+	}
+	for _, j := range c.memberCols {
+		c.colSum[j] = 0
+		c.colCnt[j] = 0
+	}
+	c.total = 0
+	c.volume = 0
+	for _, i := range c.memberRows {
+		row := c.m.RowView(i)
+		for _, j := range c.memberCols {
+			v := row[j]
+			if math.IsNaN(v) {
+				continue
+			}
+			c.rowSum[i] += v
+			c.rowCnt[i]++
+			c.colSum[j] += v
+			c.colCnt[j]++
+			c.total += v
+			c.volume++
+		}
+	}
+}
+
+// Spec is an immutable snapshot of a cluster's identity: its member
+// rows and columns in ascending order.
+type Spec struct {
+	Rows []int
+	Cols []int
+}
+
+// Spec captures the cluster's current membership.
+func (c *Cluster) Spec() Spec {
+	return Spec{Rows: c.Rows(), Cols: c.Cols()}
+}
+
+// Stats summarizes a cluster with the quantities the paper's Table 1
+// reports.
+type Stats struct {
+	NumRows  int
+	NumCols  int
+	Volume   int
+	Residue  float64
+	Diameter float64
+}
+
+// Stats computes the cluster's summary statistics.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		NumRows:  c.NumRows(),
+		NumCols:  c.NumCols(),
+		Volume:   c.Volume(),
+		Residue:  c.Residue(),
+		Diameter: c.Diameter(),
+	}
+}
+
+// ResidueOf computes the residue of the δ-cluster defined by the given
+// rows and columns of m without retaining the cluster.
+func ResidueOf(m *matrix.Matrix, rows, cols []int) float64 {
+	return FromSpec(m, rows, cols).Residue()
+}

@@ -1,0 +1,152 @@
+// Package eval measures clustering quality the way Section 6.2.2 of
+// the paper does: with U the set of entries covered by the embedded
+// (ground-truth) clusters and V the set covered by the discovered
+// clusters, recall is |U∩V|/|U| and precision is |U∩V|/|V|. Entries
+// are counted once regardless of how many clusters cover them, and
+// only specified (non-missing) entries count — missing entries carry
+// no evidence either way.
+//
+// The package also aggregates discovered-cluster statistics (residue,
+// volume, diameter) for Table 1–style reporting and provides a
+// per-cluster best-match analysis as an extension.
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+)
+
+// Entry identifies one matrix cell.
+type Entry struct{ Row, Col int }
+
+// EntrySet collects the specified entries covered by a set of cluster
+// specs over m. Each entry appears once even when clusters overlap.
+func EntrySet(m *matrix.Matrix, specs []cluster.Spec) map[Entry]struct{} {
+	set := make(map[Entry]struct{})
+	for _, s := range specs {
+		for _, i := range s.Rows {
+			for _, j := range s.Cols {
+				if m.IsSpecified(i, j) {
+					set[Entry{i, j}] = struct{}{}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// RecallPrecision computes the paper's quality metrics for discovered
+// clusters against embedded ground truth. An empty ground truth yields
+// NaN recall; an empty discovery yields NaN precision.
+func RecallPrecision(m *matrix.Matrix, embedded, discovered []cluster.Spec) (recall, precision float64) {
+	u := EntrySet(m, embedded)
+	v := EntrySet(m, discovered)
+	inter := 0
+	// Iterate over the smaller set.
+	small, large := u, v
+	if len(v) < len(u) {
+		small, large = v, u
+	}
+	for e := range small {
+		if _, ok := large[e]; ok {
+			inter++
+		}
+	}
+	recall = math.NaN()
+	if len(u) > 0 {
+		recall = float64(inter) / float64(len(u))
+	}
+	precision = math.NaN()
+	if len(v) > 0 {
+		precision = float64(inter) / float64(len(v))
+	}
+	return recall, precision
+}
+
+// Specs extracts the membership specs of a slice of clusters.
+func Specs(clusters []*cluster.Cluster) []cluster.Spec {
+	out := make([]cluster.Spec, len(clusters))
+	for i, c := range clusters {
+		out[i] = c.Spec()
+	}
+	return out
+}
+
+// Summary aggregates the statistics the paper reports about a
+// clustering: the per-cluster figures of Table 1 and the aggregate
+// residue/volume comparison of Section 6.1.2.
+type Summary struct {
+	Clusters    []cluster.Stats
+	AvgResidue  float64 // mean of per-cluster residues (FLOC's objective)
+	TotalVolume int     // aggregate volume over all clusters
+	AvgVolume   float64
+	AvgDiameter float64
+}
+
+// Summarize computes a Summary for the given clusters. Empty input
+// yields a zero Summary with NaN averages.
+func Summarize(clusters []*cluster.Cluster) Summary {
+	s := Summary{AvgResidue: math.NaN(), AvgVolume: math.NaN(), AvgDiameter: math.NaN()}
+	if len(clusters) == 0 {
+		return s
+	}
+	var resSum, diaSum float64
+	for _, c := range clusters {
+		st := c.Stats()
+		s.Clusters = append(s.Clusters, st)
+		resSum += st.Residue
+		diaSum += st.Diameter
+		s.TotalVolume += st.Volume
+	}
+	n := float64(len(clusters))
+	s.AvgResidue = resSum / n
+	s.AvgVolume = float64(s.TotalVolume) / n
+	s.AvgDiameter = diaSum / n
+	return s
+}
+
+// Match reports how well one discovered cluster recovers one embedded
+// cluster, by entry-set overlap.
+type Match struct {
+	EmbeddedIdx   int
+	DiscoveredIdx int // -1 when nothing overlaps
+	Jaccard       float64
+}
+
+// BestMatches pairs every embedded cluster with the discovered cluster
+// sharing the largest Jaccard entry overlap — an extension beyond the
+// paper's union metrics, used by the examples to narrate results.
+func BestMatches(m *matrix.Matrix, embedded, discovered []cluster.Spec) []Match {
+	discSets := make([]map[Entry]struct{}, len(discovered))
+	for i, d := range discovered {
+		discSets[i] = EntrySet(m, []cluster.Spec{d})
+	}
+	out := make([]Match, len(embedded))
+	for e, emb := range embedded {
+		embSet := EntrySet(m, []cluster.Spec{emb})
+		best := Match{EmbeddedIdx: e, DiscoveredIdx: -1}
+		for d, ds := range discSets {
+			inter := 0
+			for en := range embSet {
+				if _, ok := ds[en]; ok {
+					inter++
+				}
+			}
+			if inter == 0 {
+				continue
+			}
+			union := len(embSet) + len(ds) - inter
+			j := float64(inter) / float64(union)
+			if j > best.Jaccard {
+				best.Jaccard = j
+				best.DiscoveredIdx = d
+			}
+		}
+		out[e] = best
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].EmbeddedIdx < out[b].EmbeddedIdx })
+	return out
+}

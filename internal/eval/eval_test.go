@@ -1,0 +1,150 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/paperdata"
+)
+
+func fullMatrix(rows, cols int) *matrix.Matrix {
+	m := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, float64(i*cols+j))
+		}
+	}
+	return m
+}
+
+func TestEntrySetCountsOnce(t *testing.T) {
+	m := fullMatrix(4, 4)
+	specs := []cluster.Spec{
+		{Rows: []int{0, 1}, Cols: []int{0, 1}},
+		{Rows: []int{1, 2}, Cols: []int{1, 2}}, // shares (1,1)
+	}
+	set := EntrySet(m, specs)
+	if len(set) != 7 {
+		t.Errorf("entry set size = %d, want 7", len(set))
+	}
+}
+
+func TestEntrySetSkipsMissing(t *testing.T) {
+	m := fullMatrix(2, 2)
+	m.SetMissing(0, 0)
+	set := EntrySet(m, []cluster.Spec{{Rows: []int{0, 1}, Cols: []int{0, 1}}})
+	if len(set) != 3 {
+		t.Errorf("entry set size = %d, want 3", len(set))
+	}
+}
+
+func TestRecallPrecisionExact(t *testing.T) {
+	m := fullMatrix(6, 6)
+	embedded := []cluster.Spec{{Rows: []int{0, 1, 2}, Cols: []int{0, 1}}}   // 6 entries
+	discovered := []cluster.Spec{{Rows: []int{1, 2, 3}, Cols: []int{0, 1}}} // 6 entries, 4 shared
+	rec, prec := RecallPrecision(m, embedded, discovered)
+	if math.Abs(rec-4.0/6) > 1e-12 {
+		t.Errorf("recall = %v, want 2/3", rec)
+	}
+	if math.Abs(prec-4.0/6) > 1e-12 {
+		t.Errorf("precision = %v, want 2/3", prec)
+	}
+}
+
+func TestRecallPrecisionPerfect(t *testing.T) {
+	m := fullMatrix(4, 4)
+	specs := []cluster.Spec{{Rows: []int{0, 1}, Cols: []int{2, 3}}}
+	rec, prec := RecallPrecision(m, specs, specs)
+	if rec != 1 || prec != 1 {
+		t.Errorf("got (%v, %v), want (1, 1)", rec, prec)
+	}
+}
+
+func TestRecallPrecisionEmptySides(t *testing.T) {
+	m := fullMatrix(3, 3)
+	specs := []cluster.Spec{{Rows: []int{0}, Cols: []int{0}}}
+	rec, prec := RecallPrecision(m, nil, specs)
+	if !math.IsNaN(rec) {
+		t.Errorf("recall with empty ground truth = %v, want NaN", rec)
+	}
+	if prec != 0 {
+		t.Errorf("precision = %v, want 0", prec)
+	}
+	rec, prec = RecallPrecision(m, specs, nil)
+	if rec != 0 || !math.IsNaN(prec) {
+		t.Errorf("got (%v, %v), want (0, NaN)", rec, prec)
+	}
+}
+
+func TestSpecs(t *testing.T) {
+	m := paperdata.Figure4Matrix()
+	cls := []*cluster.Cluster{
+		cluster.FromSpec(m, []int{1, 2}, []int{0, 2}),
+		cluster.FromSpec(m, []int{3}, []int{4}),
+	}
+	specs := Specs(cls)
+	if len(specs) != 2 || len(specs[0].Rows) != 2 || specs[1].Cols[0] != 4 {
+		t.Errorf("Specs wrong: %+v", specs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := paperdata.Figure4Matrix()
+	a := cluster.FromSpec(m, paperdata.Figure4ClusterRows, paperdata.Figure4ClusterCols)
+	b := cluster.FromSpec(m, []int{0, 4}, []int{0, 2})
+	s := Summarize([]*cluster.Cluster{a, b})
+	if len(s.Clusters) != 2 {
+		t.Fatalf("clusters = %d", len(s.Clusters))
+	}
+	if s.TotalVolume != a.Volume()+b.Volume() {
+		t.Errorf("total volume = %d", s.TotalVolume)
+	}
+	wantAvg := (a.Residue() + b.Residue()) / 2
+	if math.Abs(s.AvgResidue-wantAvg) > 1e-12 {
+		t.Errorf("avg residue = %v, want %v", s.AvgResidue, wantAvg)
+	}
+	if s.AvgDiameter <= 0 {
+		t.Errorf("avg diameter = %v", s.AvgDiameter)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if !math.IsNaN(s.AvgResidue) || s.TotalVolume != 0 {
+		t.Errorf("empty summary wrong: %+v", s)
+	}
+}
+
+func TestBestMatches(t *testing.T) {
+	m := fullMatrix(8, 8)
+	embedded := []cluster.Spec{
+		{Rows: []int{0, 1, 2}, Cols: []int{0, 1, 2}},
+		{Rows: []int{5, 6, 7}, Cols: []int{5, 6, 7}},
+	}
+	discovered := []cluster.Spec{
+		{Rows: []int{5, 6, 7}, Cols: []int{5, 6, 7}}, // perfect match of embedded[1]
+		{Rows: []int{0, 1}, Cols: []int{0, 1, 2}},    // partial match of embedded[0]
+	}
+	matches := BestMatches(m, embedded, discovered)
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	if matches[0].DiscoveredIdx != 1 || math.Abs(matches[0].Jaccard-6.0/9) > 1e-12 {
+		t.Errorf("embedded 0 match wrong: %+v", matches[0])
+	}
+	if matches[1].DiscoveredIdx != 0 || matches[1].Jaccard != 1 {
+		t.Errorf("embedded 1 match wrong: %+v", matches[1])
+	}
+}
+
+func TestBestMatchesNoOverlap(t *testing.T) {
+	m := fullMatrix(4, 4)
+	embedded := []cluster.Spec{{Rows: []int{0}, Cols: []int{0}}}
+	discovered := []cluster.Spec{{Rows: []int{3}, Cols: []int{3}}}
+	matches := BestMatches(m, embedded, discovered)
+	if matches[0].DiscoveredIdx != -1 {
+		t.Errorf("expected no match, got %+v", matches[0])
+	}
+}

@@ -1,0 +1,165 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 6). Each experiment is a function from
+// Options to a typed Table; cmd/experiments renders them to text and
+// bench_test.go wraps them in testing.B benchmarks.
+//
+// The paper ran on a 333 MHz AIX box; absolute response times are not
+// comparable. Options.Scale shrinks the workload (matrix rows and
+// cluster counts) so the full suite completes on a laptop while the
+// claimed *shapes* — which configuration wins, how quantities scale —
+// remain observable. Scale = 1 reproduces the paper's sizes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Options configures a run of the experiment suite.
+type Options struct {
+	// Scale multiplies workload sizes (rows, cluster counts). 1.0 is
+	// the paper's size; the default 0.25 finishes the full suite in
+	// minutes on one core.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Trials averages randomized experiments over this many runs.
+	Trials int
+	// Verbose enables progress lines on Out while experiments run.
+	Verbose bool
+	// Out receives progress output when Verbose is set; defaults to
+	// io.Discard.
+	Out io.Writer
+}
+
+// Defaults fills unset fields.
+func (o Options) Defaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.25
+	}
+	if o.Trials == 0 {
+		o.Trials = 1
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Verbose {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+// scaled returns max(lo, round(x·Scale)).
+func (o Options) scaled(x int, lo int) int {
+	v := int(float64(x)*o.Scale + 0.5)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// Table is a rendered experiment result: an id matching the paper
+// ("Table 2", "Figure 8a", ...), the workload description, a header
+// and rows.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total >= 2 {
+		total -= 2
+	}
+	return total
+}
+
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func d0(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// Registry lists every experiment by its short name, in paper order.
+type Experiment struct {
+	Name string
+	ID   string
+	Run  func(Options) ([]*Table, error)
+}
+
+// All returns the full experiment registry in the paper's order.
+func All() []Experiment {
+	return []Experiment{
+		{Name: "table1", ID: "Table 1", Run: Table1MovieLens},
+		{Name: "microarray", ID: "Section 6.1.2", Run: Microarray},
+		{Name: "table2", ID: "Table 2", Run: Table2Iterations},
+		{Name: "table3", ID: "Table 3", Run: Table3ResponseTime},
+		{Name: "fig8", ID: "Figure 8", Run: Figure8SeedVolume},
+		{Name: "fig9", ID: "Figure 9", Run: Figure9VolumeVariance},
+		{Name: "fig10", ID: "Figure 10", Run: Figure10Alternative},
+		{Name: "table4", ID: "Table 4", Run: Table4ActionOrder},
+		{Name: "table5", ID: "Table 5", Run: Table5VolumeDisparity},
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps every experiment's workload minimal so the whole
+// registry can be smoke-tested in CI time.
+func tinyOpts() Options {
+	return Options{Scale: 0.05, Seed: 1, Trials: 1}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.Defaults()
+	if o.Scale != 0.25 || o.Trials != 1 || o.Out == nil {
+		t.Errorf("defaults wrong: %+v", o)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	o := Options{Scale: 0.1}.Defaults()
+	if got := o.scaled(100, 2); got != 10 {
+		t.Errorf("scaled(100) = %d", got)
+	}
+	if got := o.scaled(10, 5); got != 5 {
+		t.Errorf("floor not applied: %d", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "Table X",
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"col a", "b"},
+		Rows:   [][]string{{"1", "22"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table X", "demo", "a note", "col a", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisparityVariance(t *testing.T) {
+	if got := disparityVariance(300, 0); got != 0 {
+		t.Errorf("level 0 variance = %v", got)
+	}
+	lo := disparityVariance(300, 1)
+	hi := disparityVariance(300, 5)
+	if !(hi > lo && lo > 0) {
+		t.Errorf("dispersion not increasing: %v vs %v", lo, hi)
+	}
+}
+
+func TestSeedProbabilityForVolume(t *testing.T) {
+	p := seedProbabilityForVolume(300, 3000, 100)
+	// p²·N·M = 300 ⇒ p = sqrt(0.001).
+	if p < 0.03 || p > 0.033 {
+		t.Errorf("p = %v", p)
+	}
+	if seedProbabilityForVolume(1e12, 10, 10) != 1 {
+		t.Error("p not clamped to 1")
+	}
+}
+
+// Every registered experiment must run end to end at tiny scale and
+// produce at least one non-empty table.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke suite is slow")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.Name, func(t *testing.T) {
+			tables, err := exp.Run(tinyOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", exp.Name, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", exp.Name)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s table %q has no rows", exp.Name, tab.ID)
+				}
+				var buf bytes.Buffer
+				if err := tab.Render(&buf); err != nil {
+					t.Errorf("render %s: %v", tab.ID, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, exp := range All() {
+		if seen[exp.Name] {
+			t.Errorf("duplicate experiment name %q", exp.Name)
+		}
+		seen[exp.Name] = true
+		if exp.ID == "" || exp.Run == nil {
+			t.Errorf("experiment %q incomplete", exp.Name)
+		}
+	}
+	if len(seen) != 9 {
+		t.Errorf("expected 9 experiments (one per table/figure), got %d", len(seen))
+	}
+}

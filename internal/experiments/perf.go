@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"deltacluster/internal/floc"
+)
+
+// perfGrid is the matrix-size × cluster-count grid of Tables 2 and 3.
+type perfCell struct {
+	rows, cols int
+	k          int
+	iterations float64
+	duration   time.Duration
+}
+
+// runPerfGrid executes the Table 2/3 grid once and caches nothing —
+// Table 2 and Table 3 are two projections of the same runs, so both
+// experiment entry points share this helper.
+func runPerfGrid(opts Options) ([]perfCell, []int, [][2]int, error) {
+	opts = opts.Defaults()
+	sizes := [][2]int{{100, 20}, {500, 50}, {1000, 50}, {3000, 100}}
+	ks := []int{10, 20, 50, 100}
+
+	var cells []perfCell
+	for _, size := range sizes {
+		rows := opts.scaled(size[0], 20)
+		cols := size[1] // attribute counts stay at paper scale
+		clusters := opts.scaled(50, 2)
+		volMean := (0.04 * float64(rows)) * (0.1 * float64(cols))
+		if volMean < 12 {
+			volMean = 12
+		}
+		ds, err := perfDataset(rows, cols, clusters, volMean, 0, opts.Seed)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, kFull := range ks {
+			k := opts.scaled(kFull, 2)
+			var iterSum float64
+			var durSum time.Duration
+			for trial := 0; trial < opts.Trials; trial++ {
+				cfg := perfConfig(k, opts.Seed+int64(trial))
+				res, err := floc.Run(ds.Matrix, cfg)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				iterSum += float64(res.Iterations)
+				durSum += res.Duration
+			}
+			cells = append(cells, perfCell{
+				rows: rows, cols: cols, k: k,
+				iterations: iterSum / float64(opts.Trials),
+				duration:   durSum / time.Duration(opts.Trials),
+			})
+			opts.progress("perf grid: %dx%d k=%d done", rows, cols, k)
+		}
+	}
+	return cells, ks, sizes, nil
+}
+
+// Table2Iterations reproduces Table 2: the number of phase-2
+// iterations until termination across matrix sizes and cluster
+// counts. The paper's claim: iterations grow, but very slowly, with
+// both the matrix volume and k.
+func Table2Iterations(opts Options) ([]*Table, error) {
+	cells, ks, sizes, err := runPerfGrid(opts)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{perfTable(
+		"Table 2", "Number of iterations vs matrix size and cluster count",
+		cells, ks, sizes, opts,
+		func(c perfCell) string { return f1(c.iterations) },
+	)}, nil
+}
+
+// Table3ResponseTime reproduces Table 3: the wall-clock response time
+// over the same grid. The paper's claim: time is roughly linear in
+// matrix volume × k.
+func Table3ResponseTime(opts Options) ([]*Table, error) {
+	cells, ks, sizes, err := runPerfGrid(opts)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{perfTable(
+		"Table 3", "Response time vs matrix size and cluster count",
+		cells, ks, sizes, opts,
+		func(c perfCell) string { return d0(c.duration) },
+	)}, nil
+}
+
+func perfTable(id, title string, cells []perfCell, ks []int, sizes [][2]int, opts Options, render func(perfCell) string) *Table {
+	opts = opts.Defaults()
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Note: fmt.Sprintf("scale=%.2f (matrix rows and k scaled; column headers show actual sizes run)",
+			opts.Scale),
+		Header: []string{"k \\ matrix"},
+	}
+	// One column per size actually run.
+	colOf := map[[2]int]int{}
+	for _, size := range sizes {
+		var c *perfCell
+		for i := range cells {
+			if cells[i].cols == size[1] && sizeMatches(cells[i], size, opts) {
+				c = &cells[i]
+				break
+			}
+		}
+		if c == nil {
+			continue
+		}
+		colOf[size] = len(t.Header)
+		t.Header = append(t.Header, fmt.Sprintf("%dx%d", c.rows, c.cols))
+	}
+	for _, kFull := range ks {
+		k := opts.scaled(kFull, 2)
+		row := make([]string, len(t.Header))
+		row[0] = fmt.Sprintf("%d", k)
+		for _, size := range sizes {
+			for _, c := range cells {
+				if c.k == k && c.cols == size[1] && sizeMatches(c, size, opts) {
+					row[colOf[size]] = render(c)
+				}
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func sizeMatches(c perfCell, size [2]int, opts Options) bool {
+	return c.rows == opts.scaled(size[0], 20)
+}

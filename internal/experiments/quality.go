@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deltacluster/internal/eval"
+	"deltacluster/internal/floc"
+	"deltacluster/internal/stats"
+	"deltacluster/internal/synth"
+)
+
+// sampleVolumes draws k volumes with the given dispersion level.
+func sampleVolumes(k int, mean float64, level int, seed int64) []float64 {
+	out := make([]float64, k)
+	if level == 0 {
+		for i := range out {
+			out[i] = mean
+		}
+		return out
+	}
+	sampler, err := stats.NewVolumeSampler(mean, disparityVariance(mean, level))
+	if err != nil {
+		for i := range out {
+			out[i] = mean
+		}
+		return out
+	}
+	rng := stats.NewRNG(seed)
+	for i := range out {
+		out[i] = float64(sampler.Sample(rng))
+	}
+	return out
+}
+
+// qualityRun executes one quality trial and returns (avg residue of
+// significant clusters, recall, precision).
+func qualityRun(ds *synth.Dataset, cfg floc.Config) (residue, recall, precision float64, err error) {
+	res, err := floc.Run(ds.Matrix, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	recall, precision = eval.RecallPrecision(ds.Matrix, ds.Embedded, eval.Specs(res.Clusters))
+	sig := floc.Significant(res.Clusters, cfg.MaxResidue)
+	residue = eval.Summarize(sig).AvgResidue
+	return residue, recall, precision, nil
+}
+
+// Table4ActionOrder reproduces Table 4: clustering quality (residue,
+// recall, precision) under the fixed, random and weighted-random
+// action orders. The paper reports random beating fixed by ~10% and
+// weighted adding ~5% more.
+//
+// Reproduction note (see EXPERIMENTS.md): with the paper's random
+// seeding, no action order recovers embedded clusters on clean ground
+// truth — phase 2 is a local search and the seeds carry no signal, so
+// the ordering has nothing to amplify. We therefore run the
+// comparison on top of anchored seeding, where phase 2 refines
+// imperfect seeds; the ordering effect direction is preserved but its
+// magnitude is far smaller than the paper's.
+func Table4ActionOrder(opts Options) ([]*Table, error) {
+	opts = opts.Defaults()
+	rows := opts.scaled(3000, 200)
+	cols := 100
+	clusters := opts.scaled(100, 4)
+	const volMean = 300.0
+
+	ds, err := perfDataset(rows, cols, clusters, volMean, disparityVariance(volMean, 3), opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "Table 4",
+		Title:  "Quality vs action order",
+		Note:   fmt.Sprintf("matrix %dx%d, %d embedded clusters (dispersion level 3), k=%d, anchored seeding (limited attempts so phase 2 matters)", rows, cols, clusters, clusters+clusters/5),
+		Header: []string{"", "fixed order", "random order", "weighted order"},
+	}
+	resRow := []string{"residue"}
+	recRow := []string{"recall"}
+	preRow := []string{"precision"}
+	for _, order := range []floc.Order{floc.FixedOrder, floc.RandomOrder, floc.WeightedRandomOrder} {
+		var resSum, recSum, preSum float64
+		n := 0
+		for trial := 0; trial < maxIntExp(opts.Trials, 3); trial++ {
+			cfg := qualityConfig(clusters+clusters/5, opts.Seed+int64(trial)*17)
+			cfg.Order = order
+			cfg.SeedMode = floc.SeedAnchored
+			cfg.SeedAttempts = 25 * cfg.K // deliberately scarce: leave work for phase 2
+			res, rec, pre, err := qualityRun(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			resSum += res
+			recSum += rec
+			preSum += pre
+			n++
+		}
+		f := float64(n)
+		resRow = append(resRow, f2(resSum/f))
+		recRow = append(recRow, f3(recSum/f))
+		preRow = append(preRow, f3(preSum/f))
+		opts.progress("table4: order %v done", order)
+	}
+	t.Rows = [][]string{resRow, recRow, preRow}
+	return []*Table{t}, nil
+}
+
+// Table5VolumeDisparity reproduces Table 5: quality versus the
+// dispersion of the embedded cluster volumes, with mixed-size seeds.
+// The paper's claim: quality is flat across the sweep — volume
+// disparity affects efficiency, not result quality.
+func Table5VolumeDisparity(opts Options) ([]*Table, error) {
+	opts = opts.Defaults()
+	rows := opts.scaled(3000, 200)
+	cols := 100
+	clusters := opts.scaled(100, 4)
+	const volMean = 300.0
+
+	t := &Table{
+		ID:     "Table 5",
+		Title:  "Quality vs embedded volume dispersion (weighted order, mixed seeding)",
+		Note:   fmt.Sprintf("matrix %dx%d, %d embedded clusters, mean volume %.0f, dispersion level L means CV = 0.15·L", rows, cols, clusters, volMean),
+		Header: []string{"level", "residue", "recall", "precision"},
+	}
+	for level := 0; level <= 5; level++ {
+		ds, err := perfDataset(rows, cols, clusters, volMean, disparityVariance(volMean, level), opts.Seed+int64(level))
+		if err != nil {
+			return nil, err
+		}
+		var resSum, recSum, preSum float64
+		n := 0
+		for trial := 0; trial < opts.Trials; trial++ {
+			cfg := qualityConfig(clusters+clusters/5, opts.Seed+int64(trial)*13)
+			res, rec, pre, err := qualityRun(ds, cfg)
+			if err != nil {
+				return nil, err
+			}
+			resSum += res
+			recSum += rec
+			preSum += pre
+			n++
+		}
+		f := float64(n)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", level), f2(resSum / f), f3(recSum / f), f3(preSum / f),
+		})
+		opts.progress("table5: level %d done", level)
+	}
+	return []*Table{t}, nil
+}
+
+func maxIntExp(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,392 @@
+package floc
+
+import (
+	"time"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stats"
+)
+
+// Result reports the outcome of a FLOC run.
+type Result struct {
+	// Clusters is the best clustering found. The clusters reference
+	// the input matrix and may be inspected or mutated freely by the
+	// caller.
+	Clusters []*cluster.Cluster
+
+	// AvgResidue is the average of the k cluster residues — the
+	// objective FLOC minimizes.
+	AvgResidue float64
+
+	// Iterations counts the phase-2 iterations that improved the
+	// clustering (the final non-improving iteration that triggers
+	// termination is not counted, matching how Table 2 reports "number
+	// of iterations till termination").
+	Iterations int
+
+	// ActionsApplied counts membership toggles actually performed,
+	// including those undone when an iteration's tail was rolled back.
+	ActionsApplied int64
+
+	// GainEvaluations counts single-action gain evaluations, the unit
+	// of the paper's O((N+M)·N·M·k) complexity analysis.
+	GainEvaluations int64
+
+	// ResidueTrace holds the best average residue after each improving
+	// iteration, starting with the seed clustering's average residue.
+	ResidueTrace []float64
+
+	// Duration is the wall-clock time of the run, the paper's
+	// "response time".
+	Duration time.Duration
+}
+
+// engine carries the mutable state of one FLOC run.
+type engine struct {
+	m        *matrix.Matrix
+	cfg      *Config
+	rng      *stats.RNG
+	clusters []*cluster.Cluster
+	residues []float64 // residue of each cluster, kept in sync
+	resSum   float64   // sum of residues (avg = resSum / k)
+	costs    []float64 // objective cost of each cluster (see cost)
+	costSum  float64
+	w        float64 // number of specified matrix entries (penalty scale)
+	coverRow []int   // number of clusters containing each row
+	coverCol []int
+
+	gainEvals int64
+	actions   int64
+}
+
+// cost maps a cluster's shape and residue to the objective FLOC
+// minimizes. Under ResidueGain it is the residue itself (Section 4.1
+// verbatim). Under VolumeGain it is
+//
+//	cost = v·r/δ − v·(1−1/n)(1−1/m)
+//
+// with v the cluster's volume, r its residue, n×m its row/column
+// counts and δ = MaxResidue. Because v·r is the cluster's total
+// residue mass Σ|r_ij|, minimizing Σ_c cost(c) maximizes total
+// effective volume minus total residue mass priced at 1/δ — the
+// r-residue δ-cluster objective in soft form. The marginal rule it
+// induces is exactly the right one: extending a cluster pays off iff
+// the added entries carry less than ≈ δ of residue each, so δ is the
+// exchange rate between coherence and coverage.
+//
+// The reward term uses the *effective* volume v·(1−2/n)(1−2/m): the
+// volume discounted for statistical hollowness. Two effects make the
+// raw mean |residue| of a narrow cluster mechanically small whatever
+// the data: the fitted bases absorb (n+m−1) degrees of freedom, and —
+// more damagingly — FLOC *selects* members, so a many-rows×2-columns
+// cluster can cherry-pick the rows whose pairwise difference happens
+// to sit near the mode and look perfectly "coherent" on noise. The
+// discount zeroes the reward for 2-wide shapes and prices the
+// selection bias at 3-wide ones, in the same spirit as the paper's
+// Cons_v volume constraint ("statistical significance"). Oversized
+// incoherent clusters are likewise repelled: with r > δ the mass term
+// exceeds any reward and grows with volume.
+func (e *engine) cost(residue float64, volume, nRows, nCols int) float64 {
+	if e.cfg.GainPolicy == ResidueGain {
+		return residue
+	}
+	reward := 0.0
+	if nRows > 2 && nCols > 2 {
+		reward = float64(volume) *
+			(1 - 2/float64(nRows)) * (1 - 2/float64(nCols))
+	}
+	return float64(volume)*residue/e.cfg.MaxResidue - reward
+}
+
+// appliedAction records one performed (or skipped) toggle so an
+// iteration prefix can be replayed exactly onto a checkpoint.
+type appliedAction struct {
+	skipped    bool
+	isRow      bool
+	idx        int
+	clusterIdx int
+}
+
+// Run executes FLOC on m with the given configuration and returns the
+// best clustering found. The configuration is validated and defaulted;
+// equal seeds yield identical results.
+func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
+	if err := cfg.validate(m.Rows(), m.Cols()); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e := &engine{
+		m:        m,
+		cfg:      &cfg,
+		rng:      stats.NewRNG(cfg.Seed),
+		coverRow: make([]int, m.Rows()),
+		coverCol: make([]int, m.Cols()),
+	}
+
+	// Phase 1: seeds.
+	e.w = float64(m.SpecifiedCount())
+	mode := cfg.SeedMode
+	if mode == SeedAuto {
+		// Anchored seeding degrades gracefully — slots without a
+		// coherent candidate fall back to random seeds — while random
+		// seeding alone cannot bootstrap discovery (see SeedMode docs),
+		// so auto means anchored under the volume objective. The
+		// paper-literal ResidueGain has no δ to carve with; it keeps
+		// the paper's random seeding.
+		if cfg.GainPolicy == VolumeGain {
+			mode = SeedAnchored
+		} else {
+			mode = SeedRandom
+		}
+	}
+	if mode == SeedAnchored {
+		costOf := func(cl *cluster.Cluster) float64 {
+			return e.cost(cl.ResidueWith(cfg.ResidueMean), cl.Volume(), cl.NumRows(), cl.NumCols())
+		}
+		e.clusters = anchoredSeeds(m, &cfg, e.rng, costOf)
+		repairAll(e.clusters, m, &cfg, e.rng)
+	} else {
+		e.clusters = seedClusters(m, &cfg, e.rng)
+	}
+	e.residues = make([]float64, cfg.K)
+	e.costs = make([]float64, cfg.K)
+	for c, cl := range e.clusters {
+		e.residues[c] = cl.ResidueWith(cfg.ResidueMean)
+		e.resSum += e.residues[c]
+		e.costs[c] = e.cost(e.residues[c], cl.Volume(), cl.NumRows(), cl.NumCols())
+		e.costSum += e.costs[c]
+		for _, i := range cl.Rows() {
+			e.coverRow[i]++
+		}
+		for _, j := range cl.Cols() {
+			e.coverCol[j]++
+		}
+	}
+
+	bestCost := e.costSum
+	trace := []float64{e.avgResidue()}
+	iterations := 0
+
+	// Phase 2: iterative improvement.
+	for iterations < cfg.MaxIterations {
+		improvedCost, improved := e.iterate(bestCost)
+		if !improved {
+			break
+		}
+		bestCost = improvedCost
+		trace = append(trace, e.avgResidue())
+		iterations++
+	}
+
+	if cfg.Polish {
+		if cfg.PolishMaxResidue > 0 && cfg.GainPolicy == VolumeGain {
+			// Tighten δ for the cleanup and re-price every cluster
+			// under the new exchange rate before evaluating removals.
+			e.cfg.MaxResidue = cfg.PolishMaxResidue
+			e.costSum = 0
+			for c, cl := range e.clusters {
+				e.costs[c] = e.cost(e.residues[c], cl.Volume(), cl.NumRows(), cl.NumCols())
+				e.costSum += e.costs[c]
+			}
+		}
+		e.polish()
+	}
+
+	return &Result{
+		Clusters:        e.clusters,
+		AvgResidue:      e.avgResidue(),
+		Iterations:      iterations,
+		ActionsApplied:  e.actions,
+		GainEvaluations: e.gainEvals,
+		ResidueTrace:    trace,
+		Duration:        time.Since(start),
+	}, nil
+}
+
+func (e *engine) avgResidue() float64 { return e.resSum / float64(e.cfg.K) }
+
+// iterate performs one phase-2 iteration starting from the current
+// clustering (the best so far). It returns the new best objective
+// cost and whether the iteration improved on bestCost. On improvement
+// the engine state is left at the best intermediate clustering;
+// otherwise the state is left untouched.
+func (e *engine) iterate(bestCost float64) (float64, bool) {
+	// Decide the best action of every row and column against the
+	// iteration's starting state, then order them.
+	decisions := e.decideAll()
+	orderDecisions(decisions, e.cfg.Order, e.rng)
+
+	checkpoint := e.checkpoint()
+
+	applied := make([]appliedAction, len(decisions))
+	minCost := bestCost
+	minAt := -1
+	for t, d := range decisions {
+		if e.cfg.RecomputeOnApply {
+			d = e.decideOne(d.isRow, d.idx)
+		}
+		if d.clusterIdx < 0 || e.blockedNow(d) {
+			applied[t] = appliedAction{skipped: true}
+			continue
+		}
+		e.apply(d.isRow, d.idx, d.clusterIdx)
+		applied[t] = appliedAction{isRow: d.isRow, idx: d.idx, clusterIdx: d.clusterIdx}
+		if e.costSum < minCost-improveEps(minCost) {
+			minCost = e.costSum
+			minAt = t
+		}
+	}
+
+	e.restore(checkpoint)
+	if minAt < 0 {
+		return bestCost, false
+	}
+	// Replay the winning prefix onto the checkpoint.
+	for t := 0; t <= minAt; t++ {
+		a := applied[t]
+		if a.skipped {
+			continue
+		}
+		e.apply(a.isRow, a.idx, a.clusterIdx)
+	}
+	// Kill incremental floating-point drift at the iteration boundary.
+	e.resSum = 0
+	e.costSum = 0
+	for c, cl := range e.clusters {
+		cl.Recompute()
+		e.residues[c] = cl.ResidueWith(e.cfg.ResidueMean)
+		e.resSum += e.residues[c]
+		e.costs[c] = e.cost(e.residues[c], cl.Volume(), cl.NumRows(), cl.NumCols())
+		e.costSum += e.costs[c]
+	}
+	return e.costSum, true
+}
+
+// improveEps is the tolerance below which residue changes are treated
+// as noise rather than improvement, so floating-point jitter cannot
+// keep the loop alive.
+func improveEps(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	return 1e-10 * (1 + x)
+}
+
+// blockedNow re-checks the constraints for a decision against the
+// current mid-iteration state (the decision was taken against the
+// iteration's starting state, and earlier actions may have changed
+// the picture). It mirrors evalAction's checks without computing a
+// gain.
+func (e *engine) blockedNow(d decision) bool {
+	cl := e.clusters[d.clusterIdx]
+	cons := &e.cfg.Constraints
+	var isMember bool
+	if d.isRow {
+		isMember = cl.HasRow(d.idx)
+	} else {
+		isMember = cl.HasCol(d.idx)
+	}
+	if isMember {
+		if d.isRow {
+			if cl.NumRows()-1 < cons.MinRows {
+				return true
+			}
+			if cons.RequireRowCoverage && e.coverRow[d.idx] <= 1 {
+				return true
+			}
+		} else {
+			if cl.NumCols()-1 < cons.MinCols {
+				return true
+			}
+			if cons.RequireColCoverage && e.coverCol[d.idx] <= 1 {
+				return true
+			}
+		}
+	}
+	// Constraints on the candidate (toggled) state — removals too:
+	// earlier actions of this iteration may have changed the cluster,
+	// so a removal decided against the iteration-start state can now
+	// break occupancy.
+	if d.isRow {
+		cl.ToggleRow(d.idx)
+	} else {
+		cl.ToggleCol(d.idx)
+	}
+	violated := e.violatesToggled(d.clusterIdx, isMember)
+	if d.isRow {
+		cl.ToggleRow(d.idx)
+	} else {
+		cl.ToggleCol(d.idx)
+	}
+	return violated
+}
+
+// apply performs a toggle, updating the residue cache and coverage
+// counts.
+func (e *engine) apply(isRow bool, idx, c int) {
+	cl := e.clusters[c]
+	if isRow {
+		if cl.HasRow(idx) {
+			cl.RemoveRow(idx)
+			e.coverRow[idx]--
+		} else {
+			cl.AddRow(idx)
+			e.coverRow[idx]++
+		}
+	} else {
+		if cl.HasCol(idx) {
+			cl.RemoveCol(idx)
+			e.coverCol[idx]--
+		} else {
+			cl.AddCol(idx)
+			e.coverCol[idx]++
+		}
+	}
+	newRes := cl.ResidueWith(e.cfg.ResidueMean)
+	e.resSum += newRes - e.residues[c]
+	e.residues[c] = newRes
+	newCost := e.cost(newRes, cl.Volume(), cl.NumRows(), cl.NumCols())
+	e.costSum += newCost - e.costs[c]
+	e.costs[c] = newCost
+	e.actions++
+}
+
+// snapshot captures the engine's cluster state for rollback.
+type snapshot struct {
+	clusters []*cluster.Cluster
+	residues []float64
+	costs    []float64
+	resSum   float64
+	costSum  float64
+	coverRow []int
+	coverCol []int
+}
+
+func (e *engine) checkpoint() *snapshot {
+	s := &snapshot{
+		clusters: make([]*cluster.Cluster, len(e.clusters)),
+		residues: append([]float64(nil), e.residues...),
+		costs:    append([]float64(nil), e.costs...),
+		resSum:   e.resSum,
+		costSum:  e.costSum,
+		coverRow: append([]int(nil), e.coverRow...),
+		coverCol: append([]int(nil), e.coverCol...),
+	}
+	for c, cl := range e.clusters {
+		s.clusters[c] = cl.Clone()
+	}
+	return s
+}
+
+func (e *engine) restore(s *snapshot) {
+	for c := range e.clusters {
+		e.clusters[c].CopyFrom(s.clusters[c])
+	}
+	copy(e.residues, s.residues)
+	copy(e.costs, s.costs)
+	e.resSum = s.resSum
+	e.costSum = s.costSum
+	copy(e.coverRow, s.coverRow)
+	copy(e.coverCol, s.coverCol)
+}

@@ -1,0 +1,264 @@
+package floc
+
+import (
+	"math"
+
+	"deltacluster/internal/cluster"
+)
+
+// decision records the chosen action for one row or column: toggling
+// its membership in cluster clusterIdx, expected to change that
+// cluster's residue by -gain. clusterIdx is -1 when every one of the
+// k candidate actions is blocked by constraints.
+type decision struct {
+	isRow      bool
+	idx        int
+	clusterIdx int
+	gain       float64
+}
+
+// negInf marks blocked actions, per Section 4.3 ("the gain is assigned
+// to −∞").
+var negInf = math.Inf(-1)
+
+// evalAction returns the gain of toggling item (isRow, idx) in cluster
+// c, or −∞ if the action is blocked by the configured constraints.
+// The cluster is left unmodified.
+func (e *engine) evalAction(isRow bool, idx, c int) float64 {
+	e.gainEvals++
+	cl := e.clusters[c]
+	cons := &e.cfg.Constraints
+
+	var isMember bool
+	if isRow {
+		isMember = cl.HasRow(idx)
+	} else {
+		isMember = cl.HasCol(idx)
+	}
+
+	// Pre-checks that do not need the toggled state.
+	if isMember {
+		if isRow {
+			if cl.NumRows()-1 < cons.MinRows {
+				return negInf
+			}
+			if cons.RequireRowCoverage && e.coverRow[idx] <= 1 {
+				return negInf
+			}
+		} else {
+			if cl.NumCols()-1 < cons.MinCols {
+				return negInf
+			}
+			if cons.RequireColCoverage && e.coverCol[idx] <= 1 {
+				return negInf
+			}
+		}
+	}
+
+	var approx float64
+	if e.cfg.ApproximateGain {
+		approx = e.approximateGain(c, isRow, idx, isMember)
+	}
+
+	// Toggle, inspect the outcome, toggle back.
+	if isRow {
+		cl.ToggleRow(idx)
+	} else {
+		cl.ToggleCol(idx)
+	}
+	gain := negInf
+	if !e.violatesToggled(c, isMember) {
+		if e.cfg.ApproximateGain {
+			gain = approx
+		} else {
+			newRes := cl.ResidueWith(e.cfg.ResidueMean)
+			gain = e.costs[c] - e.cost(newRes, cl.Volume(), cl.NumRows(), cl.NumCols())
+		}
+	}
+	if isRow {
+		cl.ToggleRow(idx)
+	} else {
+		cl.ToggleCol(idx)
+	}
+	return gain
+}
+
+// violatesToggled checks the constraints that require the candidate
+// (toggled) state of cluster c: the volume ceiling, occupancy α and
+// the pairwise overlap budget. wasMember tells whether the toggle was
+// a removal.
+func (e *engine) violatesToggled(c int, wasMember bool) bool {
+	cons := &e.cfg.Constraints
+	cl := e.clusters[c]
+	if !wasMember && cons.MaxVolume > 0 && cl.Volume() > cons.MaxVolume {
+		return true
+	}
+	if cons.Occupancy > 0 && !cl.SatisfiesOccupancy(cons.Occupancy) {
+		return true
+	}
+	if cons.MaxOverlap >= 0 && !wasMember {
+		// Only insertions can raise overlap.
+		cells := cl.NumRows() * cl.NumCols()
+		for o, other := range e.clusters {
+			if o == c {
+				continue
+			}
+			oCells := other.NumRows() * other.NumCols()
+			minCells := cells
+			if oCells < minCells {
+				minCells = oCells
+			}
+			if minCells == 0 {
+				continue
+			}
+			if float64(cl.Overlap(other)) > cons.MaxOverlap*float64(minCells) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// approximateGain estimates the gain of toggling item (isRow, idx) in
+// cl from that item's own residue contribution under the cluster's
+// *current* bases, in O(n+m) instead of the exact O(n·m). For a
+// removal the contribution is subtracted from the residue mass; for an
+// insertion the incoming entries are scored against the existing
+// bases (the item's own base is its mean over the cluster's
+// columns/rows). This is the ablation knob Config.ApproximateGain.
+func (e *engine) approximateGain(c int, isRow bool, idx int, isMember bool) float64 {
+	cl := e.clusters[c]
+	mean := e.cfg.ResidueMean
+	vol := cl.Volume()
+	res := e.residues[c]
+	base := cl.Base()
+	if math.IsNaN(base) {
+		base = 0
+	}
+
+	var contribution float64
+	var cnt int
+	if isRow {
+		row := cl.Matrix().RowView(idx)
+		// The item's base over the cluster's columns.
+		sum := 0.0
+		for _, j := range cl.Cols() {
+			if v := row[j]; !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		itemBase := sum / float64(cnt)
+		if isMember {
+			itemBase = cl.RowBase(idx)
+		}
+		for _, j := range cl.Cols() {
+			v := row[j]
+			if math.IsNaN(v) {
+				continue
+			}
+			colBase := cl.ColBase(j)
+			if math.IsNaN(colBase) {
+				colBase = base
+			}
+			r := v - itemBase - colBase + base
+			if mean == cluster.SquaredMean {
+				contribution += r * r
+			} else {
+				contribution += math.Abs(r)
+			}
+		}
+	} else {
+		mtx := cl.Matrix()
+		sum := 0.0
+		for _, i := range cl.Rows() {
+			if v := mtx.RowView(i)[idx]; !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		itemBase := sum / float64(cnt)
+		if isMember {
+			itemBase = cl.ColBase(idx)
+		}
+		for _, i := range cl.Rows() {
+			v := mtx.RowView(i)[idx]
+			if math.IsNaN(v) {
+				continue
+			}
+			rowBase := cl.RowBase(i)
+			if math.IsNaN(rowBase) {
+				rowBase = base
+			}
+			r := v - rowBase - itemBase + base
+			if mean == cluster.SquaredMean {
+				contribution += r * r
+			} else {
+				contribution += math.Abs(r)
+			}
+		}
+	}
+
+	var newRes float64
+	var newVol int
+	if isMember {
+		newVol = vol - cnt
+		if newVol <= 0 {
+			newRes = 0
+		} else {
+			mass := res*float64(vol) - contribution
+			if mass < 0 {
+				mass = 0
+			}
+			newRes = mass / float64(newVol)
+		}
+	} else {
+		newVol = vol + cnt
+		newRes = (res*float64(vol) + contribution) / float64(newVol)
+	}
+	nRows, nCols := cl.NumRows(), cl.NumCols()
+	delta := 1
+	if isMember {
+		delta = -1
+	}
+	if isRow {
+		nRows += delta
+	} else {
+		nCols += delta
+	}
+	return e.costs[c] - e.cost(newRes, newVol, nRows, nCols)
+}
+
+// decideOne determines the best action for item (isRow, idx) across
+// all k clusters against the current state.
+func (e *engine) decideOne(isRow bool, idx int) decision {
+	best := decision{isRow: isRow, idx: idx, clusterIdx: -1, gain: negInf}
+	for c := range e.clusters {
+		if g := e.evalAction(isRow, idx, c); g > best.gain {
+			best.gain = g
+			best.clusterIdx = c
+		}
+	}
+	return best
+}
+
+// decideAll determines the best action for every row and column
+// (Figure 5, first box of phase 2), in matrix order; ordering
+// strategies permute the result afterwards.
+func (e *engine) decideAll() []decision {
+	m := e.m
+	out := make([]decision, 0, m.Rows()+m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		out = append(out, e.decideOne(true, i))
+	}
+	for j := 0; j < m.Cols(); j++ {
+		out = append(out, e.decideOne(false, j))
+	}
+	return out
+}

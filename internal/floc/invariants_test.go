@@ -1,0 +1,128 @@
+package floc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/synth"
+)
+
+// Property: a completed run always returns exactly K structurally
+// valid clusters — member indices in range, aggregates consistent
+// with a from-scratch rebuild — for arbitrary seeds and modest
+// configurations. This guards the engine's incremental bookkeeping
+// (checkpoint/restore/replay) against drift bugs.
+func TestRunInvariantsProperty(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Rows: 150, Cols: 20, NumClusters: 3,
+		VolumeMean: 80, VolumeVariance: 0, RowColRatio: 6,
+		TargetResidue: 4,
+	}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, rawOrder, rawMode uint8) bool {
+		cfg := DefaultConfig(4, 12)
+		cfg.Seed = seed
+		cfg.Order = Order(rawOrder % 3)
+		cfg.SeedMode = SeedMode(rawMode % 3)
+		cfg.MaxIterations = 15
+		res, err := Run(ds.Matrix, cfg)
+		if err != nil {
+			return false
+		}
+		if len(res.Clusters) != 4 {
+			return false
+		}
+		for _, c := range res.Clusters {
+			spec := c.Spec()
+			for _, i := range spec.Rows {
+				if i < 0 || i >= ds.Matrix.Rows() {
+					return false
+				}
+			}
+			for _, j := range spec.Cols {
+				if j < 0 || j >= ds.Matrix.Cols() {
+					return false
+				}
+			}
+			rebuilt := cluster.FromSpec(ds.Matrix, spec.Rows, spec.Cols)
+			if rebuilt.Volume() != c.Volume() {
+				return false
+			}
+			d := rebuilt.Residue() - c.Residue()
+			if d < -1e-6 || d > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The iteration's checkpoint/replay must leave the engine bit-exact
+// when an iteration fails to improve: two consecutive runs with
+// MaxIterations 1 and 2 on a workload whose second iteration cannot
+// improve should agree.
+func TestNoImprovementLeavesStateIntact(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Rows: 100, Cols: 15, NumClusters: 2,
+		VolumeMean: 60, VolumeVariance: 0, RowColRatio: 5,
+		TargetResidue: 2,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3, 8)
+	cfg.Seed = 5
+	cfg.MaxIterations = 200 // run to natural termination
+	res, err := Run(ds.Matrix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rerun with the iteration budget capped exactly at the observed
+	// count: same outcome (the final non-improving iteration must not
+	// have leaked state).
+	cfg2 := cfg
+	cfg2.MaxIterations = res.Iterations
+	if cfg2.MaxIterations == 0 {
+		cfg2.MaxIterations = 1 // Run requires ≥ 1; a no-op iteration must still be harmless
+	}
+	res2, err := Run(ds.Matrix, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgResidue != res2.AvgResidue {
+		t.Errorf("capped rerun differs: %v vs %v", res.AvgResidue, res2.AvgResidue)
+	}
+}
+
+// Blocked actions must never fire: with everything frozen by an
+// impossible occupancy threshold on a fully-specified matrix, the
+// cluster membership can still change (insertions keep occupancy 1),
+// but no cluster may ever violate the constraint.
+func TestImpossibleOccupancyNeverViolated(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Rows: 80, Cols: 12, NumClusters: 1,
+		VolumeMean: 40, VolumeVariance: 0, RowColRatio: 4,
+		TargetResidue: 2, MissingFraction: 0.3,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(3, 10)
+	cfg.Seed = 2
+	cfg.Constraints.Occupancy = 0.95
+	res, err := Run(ds.Matrix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Clusters {
+		if !c.SatisfiesOccupancy(0.95) {
+			t.Errorf("cluster %d violates α=0.95 with 30%% missing data", i)
+		}
+	}
+}

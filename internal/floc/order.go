@@ -1,0 +1,89 @@
+package floc
+
+import "deltacluster/internal/stats"
+
+// orderDecisions permutes the per-item decisions according to the
+// configured ordering strategy (Section 5.2). FixedOrder leaves the
+// natural row-0..M−1-then-column-0..N−1 order in place.
+func orderDecisions(ds []decision, order Order, rng *stats.RNG) {
+	switch order {
+	case FixedOrder:
+		// Keep the natural order.
+	case RandomOrder:
+		// The paper randomizes with g = 2·(M+N) random pairwise swaps;
+		// a Fisher–Yates shuffle produces an exactly uniform permutation,
+		// which is what those swaps approximate.
+		rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+	case WeightedRandomOrder:
+		weightedRandomOrder(ds, rng)
+	}
+}
+
+// weightedRandomOrder implements Section 5.2.2: g = 2·(M+N) random
+// pairs are considered for swapping; a pair whose front action already
+// has the larger gain is less likely to swap. With Γ the spread
+// between the maximum and minimum gain over all actions, the swap
+// probability for front gain g_f and back gain g_b is
+//
+//	p = 0.5 + (g_b − g_f) / (2Γ)
+//
+// so a maximum-gain action in front of a minimum-gain one never swaps
+// (p = 0), the reverse always swaps (p = 1), and equal gains swap half
+// the time. (The paper's prose states the formula with the opposite
+// sign, contradicting its own "rule of thumb" that a larger front gain
+// makes the swap *less* likely; we follow the rule of thumb, which is
+// also what makes the weighted order favor large gains early as
+// Table 4 reports.) Blocked actions (gain −∞) are treated as holding
+// the minimum finite gain so that Γ stays finite.
+func weightedRandomOrder(ds []decision, rng *stats.RNG) {
+	n := len(ds)
+	if n < 2 {
+		return
+	}
+	// Spread of finite gains.
+	minG, maxG := 0.0, 0.0
+	first := true
+	for _, d := range ds {
+		if d.clusterIdx < 0 {
+			continue
+		}
+		if first {
+			minG, maxG = d.gain, d.gain
+			first = false
+			continue
+		}
+		if d.gain < minG {
+			minG = d.gain
+		}
+		if d.gain > maxG {
+			maxG = d.gain
+		}
+	}
+	gamma := maxG - minG
+	gainOf := func(d decision) float64 {
+		if d.clusterIdx < 0 {
+			return minG
+		}
+		return d.gain
+	}
+	swaps := 2 * n
+	for s := 0; s < swaps; s++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		var p float64
+		if gamma == 0 {
+			p = 0.5
+		} else {
+			p = 0.5 + (gainOf(ds[j])-gainOf(ds[i]))/(2*gamma)
+		}
+		if rng.Bool(p) {
+			ds[i], ds[j] = ds[j], ds[i]
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package floc
+
+import (
+	"math"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stats"
+)
+
+// seedClusters implements phase 1 of FLOC (Section 4.1): each row and
+// column joins cluster c independently with the configured
+// probability, so a cluster is expected to hold p·M rows and p·N
+// columns. Seeds are then repaired to meet the size floor (initial
+// clusters are not required to have low residue — Section 4.3 — so
+// repair is a uniform random top-up).
+func seedClusters(m *matrix.Matrix, cfg *Config, rng *stats.RNG) []*cluster.Cluster {
+	clusters := make([]*cluster.Cluster, cfg.K)
+	for c := 0; c < cfg.K; c++ {
+		cl := cluster.New(m)
+		pRow := cfg.seedRowProb(c)
+		pCol := cfg.seedColProb(c)
+		for i := 0; i < m.Rows(); i++ {
+			if rng.Bool(pRow) {
+				cl.AddRow(i)
+			}
+		}
+		for j := 0; j < m.Cols(); j++ {
+			if rng.Bool(pCol) {
+				cl.AddCol(j)
+			}
+		}
+		repairSeed(cl, m, cfg, rng)
+		clusters[c] = cl
+	}
+	repairAll(clusters, m, cfg, rng)
+	return clusters
+}
+
+// repairAll applies every constraint repair to a fresh set of seeds so
+// phase 2 starts from a compliant clustering (Section 4.3).
+func repairAll(clusters []*cluster.Cluster, m *matrix.Matrix, cfg *Config, rng *stats.RNG) {
+	repairCoverage(clusters, m, cfg, rng)
+	repairVolume(clusters, cfg, rng)
+	repairOccupancy(clusters, cfg)
+	repairOverlap(clusters, cfg, rng)
+}
+
+// repairVolume trims seeds that exceed the volume ceiling by removing
+// random rows/columns down to the size floor.
+func repairVolume(clusters []*cluster.Cluster, cfg *Config, rng *stats.RNG) {
+	maxV := cfg.Constraints.MaxVolume
+	if maxV <= 0 {
+		return
+	}
+	for _, cl := range clusters {
+		for cl.Volume() > maxV {
+			rows, cols := cl.Rows(), cl.Cols()
+			canRow := len(rows) > cfg.Constraints.MinRows && len(rows) > 1
+			canCol := len(cols) > cfg.Constraints.MinCols && len(cols) > 1
+			switch {
+			case canRow && (!canCol || rng.Bool(0.5)):
+				cl.RemoveRow(rows[rng.Intn(len(rows))])
+			case canCol:
+				cl.RemoveCol(cols[rng.Intn(len(cols))])
+			default:
+				return // floor reached; cannot trim further
+			}
+		}
+	}
+}
+
+// repairOccupancy drops the member rows/columns of each seed that fall
+// below the occupancy threshold α until the seed satisfies
+// Definition 3.1. Removing a row can invalidate a column and vice
+// versa, so the loop runs to a fixed point.
+func repairOccupancy(clusters []*cluster.Cluster, cfg *Config) {
+	alpha := cfg.Constraints.Occupancy
+	if alpha <= 0 {
+		return
+	}
+	for _, cl := range clusters {
+		for !cl.SatisfiesOccupancy(alpha) {
+			removed := false
+			m := cl.Matrix()
+			for _, i := range cl.Rows() {
+				specified := 0
+				row := m.RowView(i)
+				for _, j := range cl.Cols() {
+					if !math.IsNaN(row[j]) {
+						specified++
+					}
+				}
+				if float64(specified) < alpha*float64(cl.NumCols()) && cl.NumRows() > 1 {
+					cl.RemoveRow(i)
+					removed = true
+				}
+			}
+			for _, j := range cl.Cols() {
+				specified := 0
+				for _, i := range cl.Rows() {
+					if !math.IsNaN(m.RowView(i)[j]) {
+						specified++
+					}
+				}
+				if float64(specified) < alpha*float64(cl.NumRows()) && cl.NumCols() > 1 {
+					cl.RemoveCol(j)
+					removed = true
+				}
+			}
+			if !removed {
+				break // cannot improve further (degenerate seed)
+			}
+		}
+	}
+}
+
+// repairOverlap shrinks pairs of seeds that exceed the overlap budget
+// by removing shared rows from the later cluster of the pair.
+func repairOverlap(clusters []*cluster.Cluster, cfg *Config, rng *stats.RNG) {
+	maxO := cfg.Constraints.MaxOverlap
+	if maxO < 0 {
+		return
+	}
+	for a := 0; a < len(clusters); a++ {
+		for b := a + 1; b < len(clusters); b++ {
+			ca, cb := clusters[a], clusters[b]
+			for {
+				cellsA := ca.NumRows() * ca.NumCols()
+				cellsB := cb.NumRows() * cb.NumCols()
+				minCells := cellsA
+				if cellsB < minCells {
+					minCells = cellsB
+				}
+				if minCells == 0 || float64(ca.Overlap(cb)) <= maxO*float64(minCells) {
+					break
+				}
+				// Remove a shared row (or column) from b.
+				shared := sharedRows(ca, cb)
+				if len(shared) > 0 && cb.NumRows() > 1 {
+					cb.RemoveRow(shared[rng.Intn(len(shared))])
+					continue
+				}
+				sharedC := sharedCols(ca, cb)
+				if len(sharedC) > 0 && cb.NumCols() > 1 {
+					cb.RemoveCol(sharedC[rng.Intn(len(sharedC))])
+					continue
+				}
+				break
+			}
+		}
+	}
+}
+
+func sharedRows(a, b *cluster.Cluster) []int {
+	var out []int
+	for _, i := range a.Rows() {
+		if b.HasRow(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sharedCols(a, b *cluster.Cluster) []int {
+	var out []int
+	for _, j := range a.Cols() {
+		if b.HasCol(j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// repairCoverage assigns every uncovered row (column) to a random
+// cluster when the corresponding coverage constraint Cons_c is active.
+// Phase 2 can only *preserve* coverage (by blocking uncovering
+// removals), so the seeds must establish it (Section 4.3: "the
+// produced clusters have to comply with the specified constraints").
+func repairCoverage(clusters []*cluster.Cluster, m *matrix.Matrix, cfg *Config, rng *stats.RNG) {
+	if cfg.Constraints.RequireRowCoverage {
+		for i := 0; i < m.Rows(); i++ {
+			covered := false
+			for _, cl := range clusters {
+				if cl.HasRow(i) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				clusters[rng.Intn(len(clusters))].AddRow(i)
+			}
+		}
+	}
+	if cfg.Constraints.RequireColCoverage {
+		for j := 0; j < m.Cols(); j++ {
+			covered := false
+			for _, cl := range clusters {
+				if cl.HasCol(j) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				clusters[rng.Intn(len(clusters))].AddCol(j)
+			}
+		}
+	}
+}
+
+// repairSeed tops a seed up to the configured minimum number of rows
+// and columns by uniform sampling from the absent ones.
+func repairSeed(cl *cluster.Cluster, m *matrix.Matrix, cfg *Config, rng *stats.RNG) {
+	minRows := cfg.Constraints.MinRows
+	if minRows > m.Rows() {
+		minRows = m.Rows()
+	}
+	minCols := cfg.Constraints.MinCols
+	if minCols > m.Cols() {
+		minCols = m.Cols()
+	}
+	for cl.NumRows() < minRows {
+		absent := make([]int, 0, m.Rows()-cl.NumRows())
+		for i := 0; i < m.Rows(); i++ {
+			if !cl.HasRow(i) {
+				absent = append(absent, i)
+			}
+		}
+		cl.AddRow(absent[rng.Intn(len(absent))])
+	}
+	for cl.NumCols() < minCols {
+		absent := make([]int, 0, m.Cols()-cl.NumCols())
+		for j := 0; j < m.Cols(); j++ {
+			if !cl.HasCol(j) {
+				absent = append(absent, j)
+			}
+		}
+		cl.AddCol(absent[rng.Intn(len(absent))])
+	}
+}

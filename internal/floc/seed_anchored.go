@@ -1,0 +1,352 @@
+package floc
+
+import (
+	"math"
+	"sort"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stats"
+)
+
+// anchoredSeeds implements SeedAnchored (see the SeedMode docs): it
+// proposes candidate clusters from random row pairs using the
+// constant-difference property of shifting coherence, scores them with
+// the run's cost function, and returns the best k mutually distinct
+// candidates, topping up with random seeds if fewer qualify.
+func anchoredSeeds(m *matrix.Matrix, cfg *Config, rng *stats.RNG, costOf func(cl *cluster.Cluster) float64) []*cluster.Cluster {
+	attempts := cfg.SeedAttempts
+	if attempts <= 0 {
+		attempts = 100 * cfg.K
+	}
+	delta := cfg.MaxResidue
+	if delta <= 0 {
+		// ResidueGain runs have no δ; a coherence tolerance is still
+		// needed to carve candidate seeds. Use a small fraction of the
+		// matrix value spread.
+		delta = valueSpread(m) / 20
+	}
+	minRows := maxInt(3, cfg.Constraints.MinRows)
+	minCols := maxInt(3, cfg.Constraints.MinCols)
+
+	type candidate struct {
+		cl   *cluster.Cluster
+		cost float64
+	}
+	var cands []candidate
+	diffs := make([]float64, 0, m.Cols())
+	offsets := make([]float64, 0, m.Cols())
+	for a := 0; a < attempts; a++ {
+		i1 := rng.Intn(m.Rows())
+		i2 := rng.Intn(m.Rows())
+		if i1 == i2 {
+			continue
+		}
+		row1 := m.RowView(i1)
+		row2 := m.RowView(i2)
+
+		// Columns where the pair's difference is near-constant: the
+		// coherent attribute set of the pair. If the rows share a
+		// δ-cluster, its columns form a tight clump in the sorted
+		// difference values — anywhere in the range, so the clump is
+		// located with a densest-window scan, not a median.
+		diffs = diffs[:0]
+		for j := 0; j < m.Cols(); j++ {
+			if !math.IsNaN(row1[j]) && !math.IsNaN(row2[j]) {
+				diffs = append(diffs, row1[j]-row2[j])
+			}
+		}
+		if len(diffs) < minCols {
+			continue
+		}
+		center, count := densestWindow(diffs, 2*delta)
+		if count < minCols {
+			continue
+		}
+		var cols []int
+		for j := 0; j < m.Cols(); j++ {
+			if math.IsNaN(row1[j]) || math.IsNaN(row2[j]) {
+				continue
+			}
+			if math.Abs(row1[j]-row2[j]-center) <= 1.5*delta {
+				cols = append(cols, j)
+			}
+		}
+		if len(cols) < minCols {
+			continue
+		}
+
+		// Rows coherent with the anchor on those columns: a row
+		// qualifies when most of its offsets against the anchor clump
+		// within 2δ of their densest window (a trimmed criterion, so a
+		// few accidental columns in the carve cannot veto true rows).
+		var rows []int
+		need := maxInt(minCols, (2*len(cols)+2)/3)
+		for r := 0; r < m.Rows(); r++ {
+			rowR := m.RowView(r)
+			offsets = offsets[:0]
+			for _, j := range cols {
+				if !math.IsNaN(rowR[j]) && !math.IsNaN(row1[j]) {
+					offsets = append(offsets, rowR[j]-row1[j])
+				}
+			}
+			if len(offsets) < need {
+				continue
+			}
+			if _, c := densestWindow(offsets, 2*delta); c >= need {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) < minRows {
+			continue
+		}
+		rows, cols = refineCandidate(m, rows, cols, delta, minRows, minCols)
+		if len(rows) < minRows || len(cols) < minCols {
+			continue
+		}
+		cl := cluster.FromSpec(m, rows, cols)
+		cands = append(cands, candidate{cl: cl, cost: costOf(cl)})
+	}
+
+	sort.Slice(cands, func(a, b int) bool { return cands[a].cost < cands[b].cost })
+
+	// Greedily keep the best candidates that are not near-duplicates
+	// (row-set overlap ≥ 2/3 of the smaller set counts as duplicate).
+	// Negative-cost candidates are genuine finds; the rest are still
+	// better-than-random starting points (phase 2 sheds them if not),
+	// so they fill remaining slots before random fallback seeds do.
+	clusters := make([]*cluster.Cluster, 0, cfg.K)
+	for _, cand := range cands {
+		if len(clusters) == cfg.K {
+			break
+		}
+		dup := false
+		for _, kept := range clusters {
+			if rowOverlap(cand.cl, kept)*3 >= 2*minInt(cand.cl.NumRows(), kept.NumRows()) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			clusters = append(clusters, cand.cl)
+		}
+	}
+
+	// Top up with the paper's random seeds.
+	for c := len(clusters); c < cfg.K; c++ {
+		cl := cluster.New(m)
+		pRow := cfg.seedRowProb(c)
+		pCol := cfg.seedColProb(c)
+		for i := 0; i < m.Rows(); i++ {
+			if rng.Bool(pRow) {
+				cl.AddRow(i)
+			}
+		}
+		for j := 0; j < m.Cols(); j++ {
+			if rng.Bool(pCol) {
+				cl.AddCol(j)
+			}
+		}
+		repairSeed(cl, m, cfg, rng)
+		clusters = append(clusters, cl)
+	}
+	return clusters
+}
+
+// refineCandidate alternates two rounds of column and row re-selection
+// over the *whole* matrix against the candidate's additive fit. The
+// pair carve is noisy — accidental columns slip into the clump window
+// and, at mild contrast, background columns can outnumber the true
+// clump — but once an approximate row set exists, per-column and
+// per-row mean absolute deviations from the two-way additive model
+// separate members from background far more sharply than any pairwise
+// statistic, so two rounds reach the coherent fixed point.
+func refineCandidate(m *matrix.Matrix, rows, cols []int, delta float64, minRows, minCols int) ([]int, []int) {
+	for round := 0; round < 2; round++ {
+		// Column adjustments from the current rows: c_j is column j's
+		// mean over member rows relative to the overall level.
+		colAdj := make([]float64, m.Cols())
+		colCnt := make([]int, m.Cols())
+		grand, grandN := 0.0, 0
+		for _, i := range rows {
+			row := m.RowView(i)
+			for j, v := range row {
+				if math.IsNaN(v) {
+					continue
+				}
+				colAdj[j] += v
+				colCnt[j]++
+			}
+		}
+		for j := range colAdj {
+			if colCnt[j] > 0 {
+				colAdj[j] /= float64(colCnt[j])
+				grand += colAdj[j]
+				grandN++
+			}
+		}
+		if grandN == 0 {
+			return nil, nil
+		}
+		level := grand / float64(grandN)
+		for j := range colAdj {
+			colAdj[j] -= level
+		}
+
+		// Row offsets against the current columns, computed robustly
+		// (median) so a stray background column cannot poison them.
+		rowOffV := make(map[int]float64, len(rows))
+		devBuf := make([]float64, 0, len(cols))
+		for _, i := range rows {
+			row := m.RowView(i)
+			devBuf = devBuf[:0]
+			for _, j := range cols {
+				if v := row[j]; !math.IsNaN(v) {
+					devBuf = append(devBuf, v-colAdj[j])
+				}
+			}
+			if len(devBuf) == 0 {
+				continue
+			}
+			sort.Float64s(devBuf)
+			rowOffV[i] = devBuf[len(devBuf)/2]
+		}
+
+		// Re-select columns first: per-column mean absolute deviation
+		// from the rows' offsets. Junk columns admitted by the pair
+		// carve are glaring here (background-sized deviation), and
+		// they must go before rows are scored, or their deviation
+		// would reject every true row.
+		var newCols []int
+		for j := 0; j < m.Cols(); j++ {
+			mean, n := 0.0, 0
+			for _, i := range rows {
+				if v := m.RowView(i)[j]; !math.IsNaN(v) {
+					mean += v - rowOffV[i]
+					n++
+				}
+			}
+			if n < minRows || n*2 < len(rows) {
+				continue
+			}
+			mean /= float64(n)
+			dev := 0.0
+			for _, i := range rows {
+				if v := m.RowView(i)[j]; !math.IsNaN(v) {
+					dev += math.Abs(v - rowOffV[i] - mean)
+				}
+			}
+			if dev/float64(n) <= delta {
+				newCols = append(newCols, j)
+			}
+		}
+		if len(newCols) < minCols {
+			return nil, nil
+		}
+		cols = newCols
+
+		// Re-select rows on the refined columns: a row joins when its
+		// offset-corrected mean absolute deviation is within δ.
+		var newRows []int
+		for i := 0; i < m.Rows(); i++ {
+			row := m.RowView(i)
+			off, n := 0.0, 0
+			for _, j := range cols {
+				if v := row[j]; !math.IsNaN(v) {
+					off += v - colAdj[j]
+					n++
+				}
+			}
+			if n < minCols {
+				continue
+			}
+			off /= float64(n)
+			dev := 0.0
+			for _, j := range cols {
+				if v := row[j]; !math.IsNaN(v) {
+					dev += math.Abs(v - colAdj[j] - off)
+				}
+			}
+			if dev/float64(n) <= delta {
+				newRows = append(newRows, i)
+			}
+		}
+		if len(newRows) < minRows {
+			return nil, nil
+		}
+		rows = newRows
+	}
+	return rows, cols
+}
+
+// densestWindow finds the sliding window of the given width holding
+// the most values of xs and returns the mean of the values inside it
+// together with their count. xs is sorted in place. The empty slice
+// yields (NaN, 0).
+func densestWindow(xs []float64, width float64) (center float64, count int) {
+	if len(xs) == 0 {
+		return math.NaN(), 0
+	}
+	sort.Float64s(xs)
+	bestLo, bestHi := 0, 1
+	lo := 0
+	for hi := 1; hi <= len(xs); hi++ {
+		for xs[hi-1]-xs[lo] > width {
+			lo++
+		}
+		if hi-lo > bestHi-bestLo {
+			bestLo, bestHi = lo, hi
+		}
+	}
+	sum := 0.0
+	for _, v := range xs[bestLo:bestHi] {
+		sum += v
+	}
+	return sum / float64(bestHi-bestLo), bestHi - bestLo
+}
+
+// valueSpread returns max−min over the specified entries of m.
+func valueSpread(m *matrix.Matrix) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < m.Rows(); i++ {
+		for _, v := range m.RowView(i) {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		return 1
+	}
+	return hi - lo
+}
+
+func rowOverlap(a, b *cluster.Cluster) int {
+	n := 0
+	for _, i := range a.Rows() {
+		if b.HasRow(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package floc
+
+import (
+	"math"
+	"testing"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stats"
+	"deltacluster/internal/synth"
+)
+
+// plantedMatrix builds a matrix with one planted shifted cluster whose
+// rows/cols are known, on a high-contrast background.
+func plantedMatrix(t *testing.T, rows, cols int, cRows, cCols []int, noise float64, seed int64) *matrix.Matrix {
+	t.Helper()
+	g := stats.NewRNG(seed)
+	m := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		r := m.RowView(i)
+		for j := range r {
+			r[j] = g.Uniform(0, 600)
+		}
+	}
+	base := 250.0
+	colBias := map[int]float64{}
+	for _, j := range cCols {
+		colBias[j] = g.Uniform(-100, 100)
+	}
+	for _, i := range cRows {
+		rb := g.Uniform(-80, 80)
+		r := m.RowView(i)
+		for _, j := range cCols {
+			r[j] = base + rb + colBias[j] + g.NormFloat64()*noise
+		}
+	}
+	return m
+}
+
+func TestRefineCandidateRecoversFromNoisyCarve(t *testing.T) {
+	cRows := []int{3, 8, 15, 22, 31, 40, 47, 52, 60, 68, 71, 80}
+	cCols := []int{2, 5, 9, 13, 17}
+	m := plantedMatrix(t, 90, 20, cRows, cCols, 4, 1)
+
+	// Noisy starting point: half the true rows, the true cols plus two
+	// junk cols.
+	startRows := cRows[:6]
+	startCols := append(append([]int{}, cCols...), 0, 19)
+	rows, cols := refineCandidate(m, startRows, startCols, 12, 3, 3)
+
+	gotRows := map[int]bool{}
+	for _, r := range rows {
+		gotRows[r] = true
+	}
+	hit := 0
+	for _, r := range cRows {
+		if gotRows[r] {
+			hit++
+		}
+	}
+	if hit < len(cRows)-1 {
+		t.Errorf("refined rows recovered %d/%d true rows", hit, len(cRows))
+	}
+	gotCols := map[int]bool{}
+	for _, c := range cols {
+		gotCols[c] = true
+	}
+	for _, c := range cCols {
+		if !gotCols[c] {
+			t.Errorf("true col %d lost", c)
+		}
+	}
+	if gotCols[0] || gotCols[19] {
+		t.Errorf("junk cols survived refinement: %v", cols)
+	}
+}
+
+func TestRefineCandidateRejectsGarbage(t *testing.T) {
+	m := plantedMatrix(t, 60, 15, nil, nil, 0, 2) // pure noise
+	rows, cols := refineCandidate(m, []int{0, 1, 2, 3}, []int{0, 1, 2, 3}, 5, 3, 3)
+	if len(rows) >= 3 && len(cols) >= 3 {
+		// A tiny accidental fixed point is possible but it must not be
+		// large.
+		if len(rows) > 10 {
+			t.Errorf("garbage refinement produced %d rows", len(rows))
+		}
+	}
+}
+
+func TestAnchoredSeedsFindPlantedCluster(t *testing.T) {
+	cRows := []int{5, 12, 19, 23, 30, 37, 41, 50, 55, 62, 70, 77, 84, 90, 99}
+	cCols := []int{1, 4, 8, 11, 14}
+	m := plantedMatrix(t, 110, 18, cRows, cCols, 4, 3)
+
+	cfg := DefaultConfig(4, 12)
+	cfg.SeedAttempts = 2000
+	if err := cfg.validate(m.Rows(), m.Cols()); err != nil {
+		t.Fatal(err)
+	}
+	e := &engine{m: m, cfg: &cfg, w: float64(m.SpecifiedCount())}
+	costOf := func(cl *cluster.Cluster) float64 {
+		return e.cost(cl.Residue(), cl.Volume(), cl.NumRows(), cl.NumCols())
+	}
+	seeds := anchoredSeeds(m, &cfg, stats.NewRNG(9), costOf)
+
+	best := 0.0
+	for _, s := range seeds {
+		truth := cluster.FromSpec(m, cRows, cCols)
+		inter := s.Overlap(truth)
+		j := float64(inter) / float64(len(cRows)*len(cCols)+s.NumRows()*s.NumCols()-inter)
+		if j > best {
+			best = j
+		}
+	}
+	if best < 0.8 {
+		t.Errorf("best seed Jaccard vs planted cluster = %.2f, want ≥ 0.8", best)
+	}
+}
+
+func TestAnchoredSeedsHandleMissingValues(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Rows: 300, Cols: 30, NumClusters: 4,
+		VolumeMean: 150, VolumeVariance: 0, RowColRatio: 6,
+		TargetResidue: 4, MissingFraction: 0.15,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(6, 12)
+	cfg.Seed = 5
+	res, err := Run(ds.Matrix, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 6 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+}
+
+func TestValueSpread(t *testing.T) {
+	m, _ := matrix.NewFromRows([][]float64{{1, 5}, {math.NaN(), -3}})
+	if got := valueSpread(m); got != 8 {
+		t.Errorf("spread = %v, want 8", got)
+	}
+	empty := matrix.New(2, 2)
+	if got := valueSpread(empty); got != 1 {
+		t.Errorf("spread of empty = %v, want fallback 1", got)
+	}
+}
+
+func TestRowOverlapHelper(t *testing.T) {
+	m, _ := matrix.NewFromRows([][]float64{{1}, {2}, {3}, {4}})
+	a := cluster.FromSpec(m, []int{0, 1, 2}, []int{0})
+	b := cluster.FromSpec(m, []int{2, 3}, []int{0})
+	if got := rowOverlap(a, b); got != 1 {
+		t.Errorf("rowOverlap = %d, want 1", got)
+	}
+}

@@ -1,0 +1,5 @@
+package floc
+
+import "deltacluster/internal/stats"
+
+func newTestRNG() *stats.RNG { return stats.NewRNG(12345) }

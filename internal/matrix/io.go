@@ -1,0 +1,140 @@
+package matrix
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// IOOptions controls how matrices are read from and written to
+// delimited text. The zero value means comma-separated, empty cells
+// mark missing entries, and no header/label column.
+type IOOptions struct {
+	// Comma is the field delimiter; 0 means ','. Use '\t' for TSV.
+	Comma rune
+	// MissingToken is the cell content denoting a missing entry, in
+	// addition to the always-accepted empty cell. "NA" and "?" are
+	// common in microarray and ratings dumps.
+	MissingToken string
+	// Header indicates the first record holds column labels.
+	Header bool
+	// RowLabels indicates the first field of every record is a row
+	// label rather than data.
+	RowLabels bool
+}
+
+func (o IOOptions) comma() rune {
+	if o.Comma == 0 {
+		return ','
+	}
+	return o.Comma
+}
+
+// Read parses a delimited matrix from r. Cells that are empty or equal
+// opts.MissingToken load as missing entries.
+func Read(r io.Reader, opts IOOptions) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	cr.Comma = opts.comma()
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("matrix: reading delimited input: %w", err)
+	}
+	var colLabels []string
+	if opts.Header {
+		if len(records) == 0 {
+			return nil, fmt.Errorf("matrix: header requested but input is empty")
+		}
+		colLabels = records[0]
+		if opts.RowLabels && len(colLabels) > 0 {
+			colLabels = colLabels[1:]
+		}
+		records = records[1:]
+	}
+	if len(records) == 0 {
+		m := New(0, len(colLabels))
+		m.ColLabels = colLabels
+		return m, nil
+	}
+
+	width := len(records[0])
+	dataCols := width
+	if opts.RowLabels {
+		dataCols--
+	}
+	if dataCols < 0 {
+		return nil, fmt.Errorf("matrix: record 0 has no data fields")
+	}
+	m := New(len(records), dataCols)
+	var rowLabels []string
+	if opts.RowLabels {
+		rowLabels = make([]string, len(records))
+	}
+	for i, rec := range records {
+		if len(rec) != width {
+			return nil, fmt.Errorf("matrix: record %d has %d fields, want %d", i, len(rec), width)
+		}
+		fields := rec
+		if opts.RowLabels {
+			rowLabels[i] = rec[0]
+			fields = rec[1:]
+		}
+		for j, cell := range fields {
+			if cell == "" || (opts.MissingToken != "" && cell == opts.MissingToken) {
+				continue // stays missing
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: record %d field %d: %w", i, j, err)
+			}
+			m.Set(i, j, v)
+		}
+	}
+	m.RowLabels = rowLabels
+	if colLabels != nil {
+		if len(colLabels) != dataCols {
+			return nil, fmt.Errorf("matrix: header has %d labels, want %d", len(colLabels), dataCols)
+		}
+		m.ColLabels = colLabels
+	}
+	return m, nil
+}
+
+// Write renders m to w using opts. Missing entries are written as
+// opts.MissingToken (or an empty cell when the token is empty).
+// Header/RowLabels are only honored when the matrix carries labels.
+func Write(w io.Writer, m *Matrix, opts IOOptions) error {
+	cw := csv.NewWriter(w)
+	cw.Comma = opts.comma()
+	if opts.Header && m.ColLabels != nil {
+		rec := m.ColLabels
+		if opts.RowLabels && m.RowLabels != nil {
+			rec = append([]string{""}, rec...)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("matrix: writing header: %w", err)
+		}
+	}
+	for i := 0; i < m.Rows(); i++ {
+		rec := make([]string, 0, m.Cols()+1)
+		if opts.RowLabels && m.RowLabels != nil {
+			rec = append(rec, m.RowLabels[i])
+		}
+		for j := 0; j < m.Cols(); j++ {
+			if !m.IsSpecified(i, j) {
+				rec = append(rec, opts.MissingToken)
+				continue
+			}
+			rec = append(rec, strconv.FormatFloat(m.Get(i, j), 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("matrix: writing row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("matrix: flushing output: %w", err)
+	}
+	return nil
+}

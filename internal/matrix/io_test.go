@@ -1,0 +1,118 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadBasicCSV(t *testing.T) {
+	in := "1,2,3\n4,,6\n"
+	m, err := Read(strings.NewReader(in), IOOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	if m.Get(1, 2) != 6 {
+		t.Errorf("Get(1,2) = %v, want 6", m.Get(1, 2))
+	}
+	if m.IsSpecified(1, 1) {
+		t.Error("empty cell loaded as specified")
+	}
+}
+
+func TestReadMissingToken(t *testing.T) {
+	in := "1\tNA\n3\t4\n"
+	m, err := Read(strings.NewReader(in), IOOptions{Comma: '\t', MissingToken: "NA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsSpecified(0, 1) {
+		t.Error("NA cell loaded as specified")
+	}
+	if m.Get(1, 1) != 4 {
+		t.Errorf("Get(1,1) = %v, want 4", m.Get(1, 1))
+	}
+}
+
+func TestReadHeaderAndRowLabels(t *testing.T) {
+	in := ",c0,c1\nr0,1,2\nr1,3,4\n"
+	m, err := Read(strings.NewReader(in), IOOptions{Header: true, RowLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.RowLabels[1] != "r1" || m.ColLabels[0] != "c0" {
+		t.Errorf("labels wrong: %v %v", m.RowLabels, m.ColLabels)
+	}
+	if m.Get(1, 1) != 4 {
+		t.Errorf("Get(1,1) = %v, want 4", m.Get(1, 1))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("1,2\n3\n"), IOOptions{}); err == nil {
+		t.Error("ragged record accepted")
+	}
+	if _, err := Read(strings.NewReader("1,x\n"), IOOptions{}); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+	if _, err := Read(strings.NewReader(""), IOOptions{Header: true}); err == nil {
+		t.Error("empty input with header accepted")
+	}
+	if _, err := Read(strings.NewReader("a,b\n1,2,3\n"), IOOptions{Header: true}); err == nil {
+		t.Error("header width mismatch accepted")
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	m, err := Read(strings.NewReader(""), IOOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 {
+		t.Errorf("rows = %d, want 0", m.Rows())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	nan := math.NaN()
+	m, _ := NewFromRows([][]float64{
+		{1.5, nan, -3},
+		{nan, 2.25, 1e-9},
+	})
+	m.RowLabels = []string{"u1", "u2"}
+	m.ColLabels = []string{"m1", "m2", "m3"}
+	opts := IOOptions{Header: true, RowLabels: true, MissingToken: "?"}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, m, opts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatalf("round trip changed values:\nwrote %v\nread  %v", m, back)
+	}
+	if back.RowLabels[0] != "u1" || back.ColLabels[2] != "m3" {
+		t.Errorf("labels lost in round trip: %v %v", back.RowLabels, back.ColLabels)
+	}
+}
+
+func TestWriteTSVNoLabels(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2}})
+	var buf bytes.Buffer
+	if err := Write(&buf, m, IOOptions{Comma: '\t'}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "1\t2\n" {
+		t.Errorf("output = %q, want %q", got, "1\t2\n")
+	}
+}

@@ -1,0 +1,229 @@
+// Package matrix implements the data-matrix substrate of the δ-cluster
+// model: a dense rows×cols matrix of float64 values in which any entry
+// may be missing. Rows correspond to objects (viewers, genes) and
+// columns to attributes (movies, experiment conditions), matching
+// Figure 2 of the paper.
+//
+// Missing entries are represented as NaN, which composes naturally
+// with the residue arithmetic in internal/cluster (every aggregate
+// counts specified entries only). The package also provides CSV/TSV
+// input/output and the logarithm transform that reduces amplification
+// coherence to shifting coherence (Section 3).
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense rows×cols matrix with optional missing entries.
+// The zero value is unusable; construct with New, NewFromRows or
+// ReadCSV.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // row-major; NaN encodes a missing entry
+
+	// Optional labels. When present, len(RowLabels) == rows and
+	// len(ColLabels) == cols; I/O round-trips them.
+	RowLabels []string
+	ColLabels []string
+}
+
+// New returns a rows×cols matrix with every entry missing. It panics
+// if either dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: New(%d, %d) with negative dimension", rows, cols))
+	}
+	data := make([]float64, rows*cols)
+	nan := math.NaN()
+	for i := range data {
+		data[i] = nan
+	}
+	return &Matrix{rows: rows, cols: cols, data: data}
+}
+
+// NewFromRows builds a matrix from row slices. All rows must have the
+// same length. NaN entries are treated as missing.
+func NewFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("matrix: row %d has %d entries, want %d", i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows (objects).
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns (attributes).
+func (m *Matrix) Cols() int { return m.cols }
+
+// Get returns the entry at (i, j); NaN means missing. Out-of-range
+// indices panic.
+func (m *Matrix) Get(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set stores v at (i, j). Storing NaN marks the entry missing.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// SetMissing marks (i, j) missing.
+func (m *Matrix) SetMissing(i, j int) { m.Set(i, j, math.NaN()) }
+
+// IsSpecified reports whether the entry at (i, j) has a value.
+func (m *Matrix) IsSpecified(i, j int) bool {
+	m.check(i, j)
+	return !math.IsNaN(m.data[i*m.cols+j])
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d, %d) out of %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of %d", i, m.rows))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// RowView returns the underlying storage of row i without copying.
+// The caller must not grow the slice; writes alter the matrix. The
+// cluster aggregates use it on hot paths.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy, including labels.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]float64, len(m.data))}
+	copy(c.data, m.data)
+	if m.RowLabels != nil {
+		c.RowLabels = append([]string(nil), m.RowLabels...)
+	}
+	if m.ColLabels != nil {
+		c.ColLabels = append([]string(nil), m.ColLabels...)
+	}
+	return c
+}
+
+// SpecifiedCount returns the number of specified (non-missing) entries.
+func (m *Matrix) SpecifiedCount() int {
+	n := 0
+	for _, v := range m.data {
+		if !math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// FillFraction returns SpecifiedCount divided by rows*cols, or 0 for an
+// empty matrix. MovieLens-style matrices sit near 0.06.
+func (m *Matrix) FillFraction() float64 {
+	total := m.rows * m.cols
+	if total == 0 {
+		return 0
+	}
+	return float64(m.SpecifiedCount()) / float64(total)
+}
+
+// RowSpecified returns how many entries of row i are specified.
+func (m *Matrix) RowSpecified(i int) int {
+	n := 0
+	for _, v := range m.RowView(i) {
+		if !math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// ColSpecified returns how many entries of column j are specified.
+func (m *Matrix) ColSpecified(j int) int {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of %d", j, m.cols))
+	}
+	n := 0
+	for i := 0; i < m.rows; i++ {
+		if !math.IsNaN(m.data[i*m.cols+j]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Submatrix returns a new matrix restricted to the given row and
+// column indices (in the given order). Labels are carried over when
+// present. Indices out of range panic.
+func (m *Matrix) Submatrix(rows, cols []int) *Matrix {
+	s := New(len(rows), len(cols))
+	for si, i := range rows {
+		for sj, j := range cols {
+			s.data[si*s.cols+sj] = m.Get(i, j)
+		}
+	}
+	if m.RowLabels != nil {
+		s.RowLabels = make([]string, len(rows))
+		for si, i := range rows {
+			s.RowLabels[si] = m.RowLabels[i]
+		}
+	}
+	if m.ColLabels != nil {
+		s.ColLabels = make([]string, len(cols))
+		for sj, j := range cols {
+			s.ColLabels[sj] = m.ColLabels[j]
+		}
+	}
+	return s
+}
+
+// Equal reports whether two matrices have the same shape and entries,
+// treating NaN entries as equal to each other. Labels are ignored.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		w := o.data[i]
+		if math.IsNaN(v) != math.IsNaN(w) {
+			return false
+		}
+		if !math.IsNaN(v) && v != w {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,219 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deltacluster/internal/stats"
+)
+
+func TestNewAllMissing(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.IsSpecified(i, j) {
+				t.Fatalf("entry (%d,%d) specified in fresh matrix", i, j)
+			}
+		}
+	}
+	if m.SpecifiedCount() != 0 {
+		t.Errorf("SpecifiedCount = %d, want 0", m.SpecifiedCount())
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestNewFromRows(t *testing.T) {
+	m, err := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Get(1, 0); got != 3 {
+		t.Errorf("Get(1,0) = %v, want 3", got)
+	}
+}
+
+func TestNewFromRowsRagged(t *testing.T) {
+	if _, err := NewFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestNewFromRowsEmpty(t *testing.T) {
+	m, err := NewFromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("shape = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestSetGetMissing(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 7.5)
+	if !m.IsSpecified(0, 1) || m.Get(0, 1) != 7.5 {
+		t.Fatal("Set/Get round trip failed")
+	}
+	m.SetMissing(0, 1)
+	if m.IsSpecified(0, 1) {
+		t.Fatal("SetMissing did not clear the entry")
+	}
+}
+
+func TestGetPanicsOutOfRange(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Get did not panic")
+		}
+	}()
+	m.Get(2, 0)
+}
+
+func TestRowColCopies(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.Get(1, 0) != 4 {
+		t.Error("Row returned a view, want a copy")
+	}
+	c := m.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Errorf("Col(2) = %v, want [3 6]", c)
+	}
+	c[0] = 99
+	if m.Get(0, 2) != 3 {
+		t.Error("Col returned a view, want a copy")
+	}
+}
+
+func TestRowViewAliases(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2}})
+	m.RowView(0)[1] = 42
+	if m.Get(0, 1) != 42 {
+		t.Error("RowView write did not alter the matrix")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	m.RowLabels = []string{"a", "b"}
+	m.ColLabels = []string{"x", "y"}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	c.RowLabels[0] = "z"
+	if m.Get(0, 0) != 1 || m.RowLabels[0] != "a" {
+		t.Error("Clone shares storage with the original")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("Clone is not Equal to the original")
+	}
+}
+
+func TestSpecifiedCounts(t *testing.T) {
+	nan := math.NaN()
+	m, _ := NewFromRows([][]float64{
+		{1, nan, 3},
+		{nan, nan, 6},
+	})
+	if got := m.SpecifiedCount(); got != 3 {
+		t.Errorf("SpecifiedCount = %d, want 3", got)
+	}
+	if got := m.RowSpecified(0); got != 2 {
+		t.Errorf("RowSpecified(0) = %d, want 2", got)
+	}
+	if got := m.RowSpecified(1); got != 1 {
+		t.Errorf("RowSpecified(1) = %d, want 1", got)
+	}
+	if got := m.ColSpecified(0); got != 1 {
+		t.Errorf("ColSpecified(0) = %d, want 1", got)
+	}
+	if got := m.ColSpecified(2); got != 2 {
+		t.Errorf("ColSpecified(2) = %d, want 2", got)
+	}
+	if got := m.FillFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FillFraction = %v, want 0.5", got)
+	}
+}
+
+func TestFillFractionEmpty(t *testing.T) {
+	if got := New(0, 0).FillFraction(); got != 0 {
+		t.Errorf("FillFraction of empty = %v, want 0", got)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m, _ := NewFromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	m.RowLabels = []string{"r0", "r1", "r2"}
+	m.ColLabels = []string{"c0", "c1", "c2"}
+	s := m.Submatrix([]int{2, 0}, []int{1, 2})
+	want, _ := NewFromRows([][]float64{{8, 9}, {2, 3}})
+	if !s.Equal(want) {
+		t.Fatalf("Submatrix values wrong")
+	}
+	if s.RowLabels[0] != "r2" || s.ColLabels[1] != "c2" {
+		t.Errorf("labels not carried: %v %v", s.RowLabels, s.ColLabels)
+	}
+}
+
+func TestEqualShapesAndNaN(t *testing.T) {
+	nan := math.NaN()
+	a, _ := NewFromRows([][]float64{{1, nan}})
+	b, _ := NewFromRows([][]float64{{1, nan}})
+	c, _ := NewFromRows([][]float64{{1, 2}})
+	d, _ := NewFromRows([][]float64{{1}, {nan}})
+	if !a.Equal(b) {
+		t.Error("identical matrices with NaN not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("NaN equal to 2")
+	}
+	if a.Equal(d) {
+		t.Error("different shapes Equal")
+	}
+}
+
+// Property: Submatrix of all rows/cols in order equals the original.
+func TestSubmatrixIdentityProperty(t *testing.T) {
+	f := func(seed int64, rawR, rawC uint8) bool {
+		rows := int(rawR%6) + 1
+		cols := int(rawC%6) + 1
+		g := stats.NewRNG(seed)
+		m := New(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if g.Bool(0.8) {
+					m.Set(i, j, g.Uniform(-100, 100))
+				}
+			}
+		}
+		allR := make([]int, rows)
+		for i := range allR {
+			allR[i] = i
+		}
+		allC := make([]int, cols)
+		for j := range allC {
+			allC[j] = j
+		}
+		return m.Submatrix(allR, allC).Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogTransform returns a new matrix whose specified entries are the
+// (natural) logarithm of the input's. Section 3 of the paper reduces
+// amplification (multiplicative) coherence to shifting (additive)
+// coherence with exactly this transform: if one object's values are a
+// constant multiple of another's, their logarithms differ by a
+// constant offset and form a perfect (zero-residue) δ-cluster.
+//
+// Entries must be strictly positive wherever specified; a
+// non-positive entry is reported with its coordinates.
+func LogTransform(m *Matrix) (*Matrix, error) {
+	out := m.Clone()
+	for i := 0; i < m.Rows(); i++ {
+		row := out.RowView(i)
+		for j, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v <= 0 {
+				return nil, fmt.Errorf("matrix: LogTransform at (%d, %d): value %v is not positive", i, j, v)
+			}
+			row[j] = math.Log(v)
+		}
+	}
+	return out, nil
+}
+
+// ShiftRow adds offset to every specified entry of row i, in place.
+// Shifting a row leaves every residue in internal/cluster unchanged
+// (the object base absorbs the offset) — the property the model is
+// built on, and what the property-based tests assert.
+func (m *Matrix) ShiftRow(i int, offset float64) {
+	row := m.RowView(i)
+	for j, v := range row {
+		if !math.IsNaN(v) {
+			row[j] = v + offset
+		}
+	}
+}
+
+// ShiftCol adds offset to every specified entry of column j, in place.
+func (m *Matrix) ShiftCol(j int, offset float64) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of %d", j, m.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		if v := m.data[i*m.cols+j]; !math.IsNaN(v) {
+			m.data[i*m.cols+j] = v + offset
+		}
+	}
+}
+
+// ScaleRow multiplies every specified entry of row i by factor, in
+// place. Together with LogTransform it exercises the amplification
+// form of coherence.
+func (m *Matrix) ScaleRow(i int, factor float64) {
+	row := m.RowView(i)
+	for j, v := range row {
+		if !math.IsNaN(v) {
+			row[j] = v * factor
+		}
+	}
+}
+
+// DeriveDifferences builds the derived matrix of Section 4.4: for every
+// pair of attributes (j1 < j2) a derived attribute holding the
+// difference column j1 − column j2. An entry of the derived matrix is
+// missing when either source entry is missing. With N original
+// attributes the result has N(N−1)/2 columns — the quadratic blow-up
+// that makes the paper's alternative algorithm expensive (Figure 10).
+//
+// The returned pairs slice maps each derived column index to its
+// source attribute pair.
+func DeriveDifferences(m *Matrix) (*Matrix, [][2]int) {
+	n := m.Cols()
+	derivedCols := n * (n - 1) / 2
+	out := New(m.Rows(), derivedCols)
+	pairs := make([][2]int, 0, derivedCols)
+	for j1 := 0; j1 < n; j1++ {
+		for j2 := j1 + 1; j2 < n; j2++ {
+			pairs = append(pairs, [2]int{j1, j2})
+		}
+	}
+	if m.ColLabels != nil {
+		out.ColLabels = make([]string, derivedCols)
+		for d, p := range pairs {
+			out.ColLabels[d] = m.ColLabels[p[0]] + "-" + m.ColLabels[p[1]]
+		}
+	}
+	if m.RowLabels != nil {
+		out.RowLabels = append([]string(nil), m.RowLabels...)
+	}
+	for i := 0; i < m.Rows(); i++ {
+		src := m.RowView(i)
+		dst := out.RowView(i)
+		for d, p := range pairs {
+			a, b := src[p[0]], src[p[1]]
+			if math.IsNaN(a) || math.IsNaN(b) {
+				continue
+			}
+			dst[d] = a - b
+		}
+	}
+	return out, pairs
+}

@@ -1,0 +1,158 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogTransformAmplificationToShift(t *testing.T) {
+	// Row 1 is row 0 amplified by 3; after the log transform the rows
+	// differ by the constant log(3) — shifting coherence.
+	m, _ := NewFromRows([][]float64{
+		{1, 2, 4},
+		{3, 6, 12},
+	})
+	lg, err := LogTransform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(3)
+	for j := 0; j < 3; j++ {
+		diff := lg.Get(1, j) - lg.Get(0, j)
+		if math.Abs(diff-want) > 1e-12 {
+			t.Errorf("col %d: log difference %v, want %v", j, diff, want)
+		}
+	}
+}
+
+func TestLogTransformPreservesMissing(t *testing.T) {
+	nan := math.NaN()
+	m, _ := NewFromRows([][]float64{{1, nan}})
+	lg, err := LogTransform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.IsSpecified(0, 1) {
+		t.Error("missing entry became specified")
+	}
+	if lg.Get(0, 0) != 0 {
+		t.Errorf("log(1) = %v, want 0", lg.Get(0, 0))
+	}
+}
+
+func TestLogTransformRejectsNonPositive(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 0}})
+	if _, err := LogTransform(m); err == nil {
+		t.Error("zero entry accepted")
+	}
+	m2, _ := NewFromRows([][]float64{{-1}})
+	if _, err := LogTransform(m2); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestLogTransformDoesNotMutateInput(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{2, 4}})
+	if _, err := LogTransform(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(0, 0) != 2 {
+		t.Error("LogTransform mutated its input")
+	}
+}
+
+func TestShiftRowAndCol(t *testing.T) {
+	nan := math.NaN()
+	m, _ := NewFromRows([][]float64{
+		{1, 2, nan},
+		{3, 4, 5},
+	})
+	m.ShiftRow(0, 10)
+	if m.Get(0, 0) != 11 || m.Get(0, 1) != 12 {
+		t.Error("ShiftRow wrong values")
+	}
+	if m.IsSpecified(0, 2) {
+		t.Error("ShiftRow specified a missing entry")
+	}
+	m.ShiftCol(1, -2)
+	if m.Get(0, 1) != 10 || m.Get(1, 1) != 2 {
+		t.Error("ShiftCol wrong values")
+	}
+}
+
+func TestScaleRow(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, -2}})
+	m.ScaleRow(0, 4)
+	if m.Get(0, 0) != 4 || m.Get(0, 1) != -8 {
+		t.Error("ScaleRow wrong values")
+	}
+}
+
+func TestDeriveDifferencesShape(t *testing.T) {
+	m, _ := NewFromRows([][]float64{
+		{5, 3, 1},
+		{9, 6, 2},
+	})
+	d, pairs := DeriveDifferences(m)
+	if d.Cols() != 3 {
+		t.Fatalf("derived cols = %d, want 3", d.Cols())
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(pairs))
+	}
+	// pairs are (0,1), (0,2), (1,2) in order.
+	wantPairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	for i, p := range pairs {
+		if p != wantPairs[i] {
+			t.Errorf("pair %d = %v, want %v", i, p, wantPairs[i])
+		}
+	}
+	if d.Get(0, 0) != 2 { // 5-3
+		t.Errorf("d(0,0) = %v, want 2", d.Get(0, 0))
+	}
+	if d.Get(1, 1) != 7 { // 9-2
+		t.Errorf("d(1,1) = %v, want 7", d.Get(1, 1))
+	}
+}
+
+func TestDeriveDifferencesMissing(t *testing.T) {
+	nan := math.NaN()
+	m, _ := NewFromRows([][]float64{{1, nan, 3}})
+	d, _ := DeriveDifferences(m)
+	// (0,1) and (1,2) touch the missing col; (0,2) does not.
+	if d.IsSpecified(0, 0) || d.IsSpecified(0, 2) {
+		t.Error("difference with missing source specified")
+	}
+	if !d.IsSpecified(0, 1) || d.Get(0, 1) != -2 {
+		t.Errorf("d(0,1) = %v, want -2", d.Get(0, 1))
+	}
+}
+
+func TestDeriveDifferencesLabels(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2}})
+	m.ColLabels = []string{"1I", "1D"}
+	m.RowLabels = []string{"VPS8"}
+	d, _ := DeriveDifferences(m)
+	if d.ColLabels[0] != "1I-1D" {
+		t.Errorf("derived label %q, want %q", d.ColLabels[0], "1I-1D")
+	}
+	if d.RowLabels[0] != "VPS8" {
+		t.Errorf("row labels not carried")
+	}
+}
+
+// Rows of a perfect shifted cluster collapse to equal rows in the
+// derived matrix — the foundation of the Section 4.4 alternative
+// algorithm.
+func TestDeriveDifferencesCollapsesShifts(t *testing.T) {
+	m, _ := NewFromRows([][]float64{
+		{1, 5, 23},
+		{11, 15, 33},
+	})
+	d, _ := DeriveDifferences(m)
+	for j := 0; j < d.Cols(); j++ {
+		if d.Get(0, j) != d.Get(1, j) {
+			t.Errorf("derived col %d differs: %v vs %v", j, d.Get(0, j), d.Get(1, j))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package paperdata holds the exact worked examples from the paper so
+// that tests, examples and documentation can refer to them by name:
+// the three shifted vectors of Figure 1, the yeast microarray excerpt
+// of Figure 4(a) with the perfect δ-cluster of Figure 4(b), and the
+// 3×4 matrix of Figure 6 used to illustrate actions and gains.
+package paperdata
+
+import (
+	"math"
+
+	"deltacluster/internal/matrix"
+)
+
+// nanValue marks missing entries in the reconstructed figures.
+var nanValue = math.NaN()
+
+// Figure1Vectors returns the three coherent vectors of Figure 1:
+// pairwise distances are large, yet each is a constant shift of the
+// others, so together they form a perfect (zero-residue) δ-cluster.
+func Figure1Vectors() *matrix.Matrix {
+	m, err := matrix.NewFromRows([][]float64{
+		{1, 5, 23, 12, 20},
+		{11, 15, 33, 22, 30},
+		{111, 115, 133, 122, 130},
+	})
+	if err != nil {
+		panic(err)
+	}
+	m.RowLabels = []string{"d1", "d2", "d3"}
+	m.ColLabels = []string{"a1", "a2", "a3", "a4", "a5"}
+	return m
+}
+
+// YeastGenes and YeastConditions label Figure 4(a)'s 10×5 microarray
+// excerpt.
+var (
+	YeastGenes      = []string{"CTFC3", "VPS8", "EFB1", "SSA1", "FUN14", "SPO7", "MDM10", "CYS3", "DEP1", "NTG1"}
+	YeastConditions = []string{"CH1I", "CH1B", "CH1D", "CH2I", "CH2B"}
+)
+
+// Figure4Matrix returns the 10-gene × 5-condition microarray excerpt
+// of Figure 4(a).
+func Figure4Matrix() *matrix.Matrix {
+	m, err := matrix.NewFromRows([][]float64{
+		{4392, 284, 4108, 280, 228},
+		{401, 281, 120, 275, 298},
+		{318, 280, 37, 277, 215},
+		{401, 292, 109, 580, 238},
+		{2857, 285, 2576, 271, 226},
+		{228, 290, 48, 285, 224},
+		{538, 272, 266, 277, 236},
+		{322, 288, 41, 278, 219},
+		{312, 272, 40, 273, 232},
+		{329, 296, 33, 274, 228},
+	})
+	if err != nil {
+		panic(err)
+	}
+	m.RowLabels = append([]string(nil), YeastGenes...)
+	m.ColLabels = append([]string(nil), YeastConditions...)
+	return m
+}
+
+// Figure4ClusterRows and Figure4ClusterCols identify the perfect
+// δ-cluster of Figure 4(b): genes {VPS8, EFB1, CYS3} on conditions
+// {CH1I, CH1D, CH2B}. Its volume is 9 and its residue is exactly 0.
+var (
+	Figure4ClusterRows = []int{1, 2, 7} // VPS8, EFB1, CYS3
+	Figure4ClusterCols = []int{0, 2, 4} // CH1I, CH1D, CH2B
+)
+
+// Figure6Matrix returns the 3×4 matrix of Figure 6 used to work
+// through actions and gains. Cluster 1 holds rows {0,1} × cols {0,1};
+// cluster 2 holds rows {1,2} × cols {0,1,2}.
+func Figure6Matrix() *matrix.Matrix {
+	m, err := matrix.NewFromRows([][]float64{
+		{3, 1, 2, 2},
+		{1, 1, 3, 3},
+		{4, 2, 0, 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Figure6Cluster1 and Figure6Cluster2 give the worked example's two
+// cluster memberships.
+var (
+	Figure6Cluster1Rows = []int{0, 1}
+	Figure6Cluster1Cols = []int{0, 1}
+	Figure6Cluster2Rows = []int{1, 2}
+	Figure6Cluster2Cols = []int{0, 1, 2}
+)
+
+// Figure3a and Figure3b return the missing-value examples of Figure 3:
+// with α = 0.6 the first is too sparse to be a δ-cluster and the
+// second qualifies.
+func Figure3a() *matrix.Matrix {
+	nan := nanValue
+	m, err := matrix.NewFromRows([][]float64{
+		{1, nan, 3, nan},
+		{nan, 4, nan, 5},
+		{3, nan, 4, nan},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func Figure3b() *matrix.Matrix {
+	nan := nanValue
+	m, err := matrix.NewFromRows([][]float64{
+		{1, nan, 3, 3},
+		{3, 4, 5, nan},
+		{nan, 3, 4, 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,66 @@
+package paperdata
+
+import (
+	"testing"
+
+	"deltacluster/internal/cluster"
+)
+
+func TestFigure1Vectors(t *testing.T) {
+	m := Figure1Vectors()
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	// d2 − d1 = 10 everywhere; d3 − d2 = 100 everywhere.
+	for j := 0; j < 5; j++ {
+		if m.Get(1, j)-m.Get(0, j) != 10 {
+			t.Errorf("col %d: d2-d1 = %v", j, m.Get(1, j)-m.Get(0, j))
+		}
+		if m.Get(2, j)-m.Get(1, j) != 100 {
+			t.Errorf("col %d: d3-d2 = %v", j, m.Get(2, j)-m.Get(1, j))
+		}
+	}
+}
+
+func TestFigure4MatrixLabels(t *testing.T) {
+	m := Figure4Matrix()
+	if m.Rows() != 10 || m.Cols() != 5 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.RowLabels[1] != "VPS8" || m.ColLabels[2] != "CH1D" {
+		t.Errorf("labels wrong: %v %v", m.RowLabels, m.ColLabels)
+	}
+	// Spot values from the paper's Figure 4(a).
+	if m.Get(0, 0) != 4392 || m.Get(9, 2) != 33 {
+		t.Error("matrix values do not match Figure 4(a)")
+	}
+}
+
+func TestFigure4ClusterIsPerfect(t *testing.T) {
+	m := Figure4Matrix()
+	if r := cluster.ResidueOf(m, Figure4ClusterRows, Figure4ClusterCols); r != 0 {
+		t.Errorf("Figure 4(b) residue = %v, want exactly 0", r)
+	}
+}
+
+func TestFigure6Matrix(t *testing.T) {
+	m := Figure6Matrix()
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	c1 := cluster.FromSpec(m, Figure6Cluster1Rows, Figure6Cluster1Cols)
+	c2 := cluster.FromSpec(m, Figure6Cluster2Rows, Figure6Cluster2Cols)
+	if c1.Volume() != 4 || c2.Volume() != 6 {
+		t.Errorf("volumes %d, %d; want 4, 6", c1.Volume(), c2.Volume())
+	}
+}
+
+func TestFigure3Sparsity(t *testing.T) {
+	a, b := Figure3a(), Figure3b()
+	if a.SpecifiedCount() != 6 {
+		t.Errorf("Figure 3(a) specified = %d, want 6", a.SpecifiedCount())
+	}
+	if b.SpecifiedCount() != 9 {
+		t.Errorf("Figure 3(b) specified = %d, want 9", b.SpecifiedCount())
+	}
+}

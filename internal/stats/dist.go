@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Erlang is the Erlang distribution: the sum of Shape independent
+// exponential variates, each with the given Rate. The paper (Section
+// 6.2, citing Kleinrock) draws the volumes of embedded δ-clusters from
+// an Erlang distribution and sweeps its variance, so this sampler is
+// parameterized both directly (shape, rate) and by the
+// mean/variance pair the paper's figures use.
+type Erlang struct {
+	// Shape is the number of exponential stages, k >= 1.
+	Shape int
+	// Rate is the rate λ > 0 of each stage.
+	Rate float64
+}
+
+// NewErlang returns an Erlang distribution with the given shape and
+// rate. It returns an error if shape < 1 or rate <= 0.
+func NewErlang(shape int, rate float64) (Erlang, error) {
+	if shape < 1 {
+		return Erlang{}, fmt.Errorf("stats: erlang shape %d < 1", shape)
+	}
+	if !(rate > 0) {
+		return Erlang{}, fmt.Errorf("stats: erlang rate %v <= 0", rate)
+	}
+	return Erlang{Shape: shape, Rate: rate}, nil
+}
+
+// ErlangFromMeanVariance returns an Erlang distribution whose mean is
+// mean and whose variance approximates variance as closely as the
+// integral shape parameter permits. The paper's Figure 9 and Table 5
+// sweep "the variance of the Erlang distribution" at a fixed mean;
+// this constructor is exactly that knob.
+//
+// An Erlang(k, λ) has mean k/λ and variance k/λ², so k = mean²/variance
+// (rounded to the nearest integer ≥ 1) and λ = k/mean. A variance of 0
+// is accepted and yields a degenerate distribution that always returns
+// the mean, matching the paper's "all clusters have the same volume if
+// the variance is 0".
+func ErlangFromMeanVariance(mean, variance float64) (Erlang, error) {
+	if !(mean > 0) {
+		return Erlang{}, fmt.Errorf("stats: erlang mean %v <= 0", mean)
+	}
+	if variance < 0 {
+		return Erlang{}, fmt.Errorf("stats: erlang variance %v < 0", variance)
+	}
+	if variance == 0 {
+		// Degenerate: signalled by Rate = +Inf, handled in Sample.
+		return Erlang{Shape: 1, Rate: math.Inf(1)}, nil
+	}
+	k := int(math.Round(mean * mean / variance))
+	if k < 1 {
+		k = 1
+	}
+	return Erlang{Shape: k, Rate: float64(k) / mean}, nil
+}
+
+// Mean returns the distribution mean k/λ.
+func (e Erlang) Mean() float64 {
+	if math.IsInf(e.Rate, 1) {
+		return 0 // degenerate distributions carry their mean at sample time
+	}
+	return float64(e.Shape) / e.Rate
+}
+
+// Variance returns the distribution variance k/λ².
+func (e Erlang) Variance() float64 {
+	if math.IsInf(e.Rate, 1) {
+		return 0
+	}
+	return float64(e.Shape) / (e.Rate * e.Rate)
+}
+
+// Sample draws one variate using g.
+func (e Erlang) Sample(g *RNG) float64 {
+	if math.IsInf(e.Rate, 1) {
+		// Degenerate zero-variance case from ErlangFromMeanVariance:
+		// the caller supplies the mean via SampleMean.
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < e.Shape; i++ {
+		sum += g.ExpFloat64()
+	}
+	return sum / e.Rate
+}
+
+// VolumeSampler draws positive integer volumes with a given mean and
+// variance, the way the synthetic workloads of Section 6.2 draw
+// embedded (and seed) cluster volumes. Variance 0 always returns the
+// rounded mean.
+type VolumeSampler struct {
+	mean float64
+	dist Erlang
+	zero bool
+}
+
+// NewVolumeSampler builds a sampler of Erlang-distributed volumes with
+// the given mean and variance. The mean must be positive.
+func NewVolumeSampler(mean, variance float64) (*VolumeSampler, error) {
+	d, err := ErlangFromMeanVariance(mean, variance)
+	if err != nil {
+		return nil, err
+	}
+	return &VolumeSampler{mean: mean, dist: d, zero: variance == 0}, nil
+}
+
+// Sample returns a volume ≥ 1.
+func (v *VolumeSampler) Sample(g *RNG) int {
+	var x float64
+	if v.zero {
+		x = v.mean
+	} else {
+		x = v.dist.Sample(g)
+	}
+	n := int(math.Round(x))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Mean reports the configured mean volume.
+func (v *VolumeSampler) Mean() float64 { return v.mean }

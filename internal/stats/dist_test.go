@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewErlangValidation(t *testing.T) {
+	if _, err := NewErlang(0, 1); err == nil {
+		t.Error("shape 0 accepted")
+	}
+	if _, err := NewErlang(1, 0); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := NewErlang(1, -2); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewErlang(3, 0.5); err != nil {
+		t.Errorf("valid erlang rejected: %v", err)
+	}
+}
+
+func TestErlangMomentsMatchSamples(t *testing.T) {
+	g := NewRNG(99)
+	e, err := NewErlang(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w Welford
+	for i := 0; i < 50000; i++ {
+		w.Add(e.Sample(g))
+	}
+	if m := w.Mean(); math.Abs(m-e.Mean()) > 0.05 {
+		t.Errorf("sample mean %v, want ≈%v", m, e.Mean())
+	}
+	if v := w.Variance(); math.Abs(v-e.Variance()) > 0.1 {
+		t.Errorf("sample variance %v, want ≈%v", v, e.Variance())
+	}
+}
+
+func TestErlangFromMeanVariance(t *testing.T) {
+	cases := []struct{ mean, variance float64 }{
+		{300, 1}, {300, 3}, {300, 5}, {100, 100}, {10, 2},
+	}
+	for _, c := range cases {
+		e, err := ErlangFromMeanVariance(c.mean, c.variance)
+		if err != nil {
+			t.Fatalf("mean=%v var=%v: %v", c.mean, c.variance, err)
+		}
+		if got := e.Mean(); math.Abs(got-c.mean)/c.mean > 0.01 {
+			t.Errorf("mean=%v var=%v: distribution mean %v", c.mean, c.variance, got)
+		}
+		// The integral shape rounds the variance; allow slack of one
+		// part in the shape.
+		if got := e.Variance(); c.variance > 0 && math.Abs(got-c.variance)/c.variance > 0.5 {
+			t.Errorf("mean=%v var=%v: distribution variance %v", c.mean, c.variance, got)
+		}
+	}
+}
+
+func TestErlangFromMeanVarianceZeroVariance(t *testing.T) {
+	e, err := ErlangFromMeanVariance(300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Variance() != 0 {
+		t.Errorf("variance = %v, want 0", e.Variance())
+	}
+}
+
+func TestErlangFromMeanVarianceValidation(t *testing.T) {
+	if _, err := ErlangFromMeanVariance(0, 1); err == nil {
+		t.Error("mean 0 accepted")
+	}
+	if _, err := ErlangFromMeanVariance(10, -1); err == nil {
+		t.Error("negative variance accepted")
+	}
+}
+
+func TestVolumeSamplerZeroVariance(t *testing.T) {
+	v, err := NewVolumeSampler(300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if got := v.Sample(g); got != 300 {
+			t.Fatalf("zero-variance sampler returned %d, want 300", got)
+		}
+	}
+}
+
+func TestVolumeSamplerMean(t *testing.T) {
+	v, err := NewVolumeSampler(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewRNG(8)
+	var w Welford
+	for i := 0; i < 20000; i++ {
+		w.Add(float64(v.Sample(g)))
+	}
+	if m := w.Mean(); math.Abs(m-300) > 1 {
+		t.Errorf("sample mean %v, want ≈300", m)
+	}
+}
+
+func TestVolumeSamplerAlwaysPositive(t *testing.T) {
+	v, err := NewVolumeSampler(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewRNG(4)
+	for i := 0; i < 5000; i++ {
+		if got := v.Sample(g); got < 1 {
+			t.Fatalf("sampler returned %d < 1", got)
+		}
+	}
+}
+
+func TestVolumeSamplerValidation(t *testing.T) {
+	if _, err := NewVolumeSampler(-5, 1); err == nil {
+		t.Error("negative mean accepted")
+	}
+}
+
+// Property: Erlang samples are non-negative for any valid shape/rate.
+func TestErlangSamplesNonNegativeProperty(t *testing.T) {
+	f := func(seed int64, rawShape uint8, rawRate uint16) bool {
+		shape := int(rawShape%20) + 1
+		rate := float64(rawRate%1000)/100 + 0.01
+		e, err := NewErlang(shape, rate)
+		if err != nil {
+			return false
+		}
+		g := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			if e.Sample(g) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

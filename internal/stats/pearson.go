@@ -1,0 +1,50 @@
+package stats
+
+import "math"
+
+// PearsonR computes the Pearson R correlation between two vectors, the
+// measure the paper's introduction considers and rejects for δ-cluster
+// discovery (it is global: a strong per-subspace coherence with
+// opposite biases on two attribute groups yields a small R).
+//
+// Entries where either vector is NaN (missing) are skipped, matching
+// how the rest of the repository treats unspecified values. PearsonR
+// returns NaN when fewer than two paired entries are specified or when
+// either vector is constant over the paired entries.
+func PearsonR(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: PearsonR with mismatched lengths")
+	}
+	// First pass: means over the mutually specified entries.
+	n := 0
+	sumA, sumB := 0.0, 0.0
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		n++
+		sumA += a[i]
+		sumB += b[i]
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	meanA := sumA / float64(n)
+	meanB := sumB / float64(n)
+
+	cov, varA, varB := 0.0, 0.0, 0.0
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		da := a[i] - meanA
+		db := b[i] - meanB
+		cov += da * db
+		varA += da * da
+		varB += db * db
+	}
+	if varA == 0 || varB == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(varA*varB)
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonRPerfectPositive(t *testing.T) {
+	// Shifted copies correlate perfectly — the paper's Figure 1 vectors.
+	d1 := []float64{1, 5, 23, 12, 20}
+	d2 := []float64{11, 15, 33, 22, 30}
+	if r := PearsonR(d1, d2); !almostEqual(r, 1, 1e-12) {
+		t.Errorf("R = %v, want 1", r)
+	}
+}
+
+func TestPearsonRPerfectNegative(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+	if r := PearsonR(a, b); !almostEqual(r, -1, 1e-12) {
+		t.Errorf("R = %v, want -1", r)
+	}
+}
+
+// The paper's motivating counter-example (Section 1): two viewers with
+// consistent per-genre bias but opposite genre preferences. Pearson R
+// is strongly negative even though each genre block is perfectly
+// coherent — exactly why the δ-cluster model is needed.
+func TestPearsonRMissesSubspaceCoherence(t *testing.T) {
+	v1 := []float64{8, 7, 9, 2, 2, 3}
+	v2 := []float64{2, 1, 3, 8, 8, 9}
+	r := PearsonR(v1, v2)
+	if r > 0 {
+		t.Fatalf("global R = %v; expected non-positive for opposed biases", r)
+	}
+	// Per-genre blocks are perfectly correlated.
+	if br := PearsonR(v1[:3], v2[:3]); !almostEqual(br, 1, 1e-12) {
+		t.Errorf("action-block R = %v, want 1", br)
+	}
+	if br := PearsonR(v1[3:], v2[3:]); !almostEqual(br, 1, 1e-12) {
+		t.Errorf("family-block R = %v, want 1", br)
+	}
+}
+
+func TestPearsonRMissingValues(t *testing.T) {
+	nan := math.NaN()
+	a := []float64{1, nan, 3, 4, nan}
+	b := []float64{2, 5, 4, 5, nan}
+	// Paired specified entries: (1,2), (3,4), (4,5) — perfectly linear.
+	if r := PearsonR(a, b); !almostEqual(r, 1, 1e-12) {
+		t.Errorf("R = %v, want 1", r)
+	}
+}
+
+func TestPearsonRDegenerate(t *testing.T) {
+	if r := PearsonR([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(r) {
+		t.Errorf("constant vector R = %v, want NaN", r)
+	}
+	nan := math.NaN()
+	if r := PearsonR([]float64{1, nan, nan}, []float64{2, 3, 4}); !math.IsNaN(r) {
+		t.Errorf("single paired entry R = %v, want NaN", r)
+	}
+}
+
+func TestPearsonRPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	PearsonR([]float64{1}, []float64{1, 2})
+}
+
+// Properties: symmetry, range, shift/scale invariance.
+func TestPearsonRProperties(t *testing.T) {
+	gen := func(seed int64, n int) ([]float64, []float64) {
+		g := NewRNG(seed)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = g.Uniform(-10, 10)
+			b[i] = g.Uniform(-10, 10)
+		}
+		return a, b
+	}
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%20) + 3
+		a, b := gen(seed, n)
+		r := PearsonR(a, b)
+		if math.IsNaN(r) {
+			return true
+		}
+		// Symmetry.
+		if !almostEqual(r, PearsonR(b, a), 1e-12) {
+			return false
+		}
+		// Range.
+		if r < -1-1e-12 || r > 1+1e-12 {
+			return false
+		}
+		// Shift and positive-scale invariance of the first argument.
+		shifted := make([]float64, n)
+		for i := range a {
+			shifted[i] = 3*a[i] + 7
+		}
+		return almostEqual(r, PearsonR(shifted, b), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

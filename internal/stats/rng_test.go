@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, av, bv)
+		}
+	}
+}
+
+func TestNewRNGDifferentSeedsDiverge(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestUniformIntRange(t *testing.T) {
+	g := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := g.UniformInt(2, 4)
+		if v < 2 || v > 4 {
+			t.Fatalf("UniformInt(2,4) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for want := 2; want <= 4; want++ {
+		if !seen[want] {
+			t.Errorf("UniformInt(2,4) never produced %d in 1000 draws", want)
+		}
+	}
+}
+
+func TestUniformIntSingleton(t *testing.T) {
+	g := NewRNG(1)
+	if v := g.UniformInt(3, 3); v != 3 {
+		t.Fatalf("UniformInt(3,3) = %d, want 3", v)
+	}
+}
+
+func TestUniformIntPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UniformInt(5,4) did not panic")
+		}
+	}()
+	NewRNG(1).UniformInt(5, 4)
+}
+
+func TestBoolEdges(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	g := NewRNG(11)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("Bool(0.3) frequency %v, want ≈0.3", frac)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := NewRNG(5)
+	c1 := g.Split()
+	c2 := g.Split()
+	if c1.Float64() == c2.Float64() && c1.Float64() == c2.Float64() {
+		t.Fatal("two Split children produced identical streams")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := NewRNG(13)
+	for trial := 0; trial < 50; trial++ {
+		n := g.UniformInt(1, 30)
+		k := g.UniformInt(0, n)
+		s := g.SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			t.Fatalf("got %d samples, want %d", len(s), k)
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n {
+				t.Fatalf("sample %d out of [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	g := NewRNG(3)
+	s := g.SampleWithoutReplacement(5, 5)
+	seen := map[int]bool{}
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("full sample is not a permutation: %v", s)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n did not panic")
+		}
+	}()
+	NewRNG(1).SampleWithoutReplacement(3, 4)
+}
+
+// Property: samples are always distinct and in range, for arbitrary
+// seeds and sizes.
+func TestSampleWithoutReplacementProperty(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		n := int(rawN%50) + 1
+		k := int(rawK) % (n + 1)
+		s := NewRNG(seed).SampleWithoutReplacement(n, k)
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(s) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(21)
+	p := g.Perm(10)
+	seen := map[int]bool{}
+	for _, v := range p {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Perm(10) not a permutation: %v", p)
+	}
+}

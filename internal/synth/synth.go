@@ -1,0 +1,316 @@
+// Package synth generates the synthetic workloads of Section 6 of the
+// paper, plus faithful stand-ins for the two real data sets the paper
+// uses (the MovieLens 100k ratings matrix and the 2884×17 yeast
+// microarray), which are not redistributable. See DESIGN.md §5 for the
+// substitution rationale.
+//
+// A synthetic matrix is uniform background noise with k embedded
+// δ-clusters: submatrices of the form
+//
+//	d_ij = clusterBase + rowBias_i + colBias_j + ε_ij
+//
+// whose shifting structure makes them perfect δ-clusters up to the
+// noise ε. Embedded cluster volumes follow an Erlang distribution with
+// configurable mean and variance (Section 6.2). The generator records
+// the ground-truth entry sets so recall and precision can be measured
+// (Section 6.2.2).
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stats"
+)
+
+// meanAbsGaussianFactor is E|N(0,1)| = sqrt(2/π); TargetResidue is
+// converted to a noise standard deviation through it.
+var meanAbsGaussianFactor = math.Sqrt(2 / math.Pi)
+
+// Config describes a synthetic matrix with embedded δ-clusters.
+type Config struct {
+	// Rows and Cols give the matrix size (objects × attributes).
+	Rows, Cols int
+
+	// NumClusters is the number of embedded δ-clusters.
+	NumClusters int
+
+	// VolumeMean and VolumeVariance parameterize the Erlang
+	// distribution of embedded cluster volumes. VolumeVariance 0
+	// embeds equal-volume clusters.
+	VolumeMean     float64
+	VolumeVariance float64
+
+	// RowColRatio is the expected rows:cols aspect of an embedded
+	// cluster; a sampled volume v is shaped into ≈ sqrt(v·ratio) rows
+	// by ≈ sqrt(v/ratio) columns. Defaults to 3 (clusters taller than
+	// wide, like the paper's (0.04·N)×(0.1·M) embeddings on 3000×100
+	// matrices).
+	RowColRatio float64
+
+	// TargetResidue is the approximate arithmetic-mean residue of each
+	// embedded cluster; it is realized with Gaussian entry noise of
+	// standard deviation TargetResidue / sqrt(2/π). 0 embeds perfect
+	// clusters.
+	TargetResidue float64
+
+	// BackgroundLo and BackgroundHi bound the uniform background
+	// values. They default to [0, 600), the scale of the yeast excerpt
+	// in the paper's Figure 4.
+	BackgroundLo, BackgroundHi float64
+
+	// BiasSpread bounds the uniform row and column biases of embedded
+	// clusters, drawn from [−BiasSpread, BiasSpread). Defaults to 100.
+	BiasSpread float64
+
+	// MissingFraction of all entries is cleared after embedding
+	// (uniformly at random), exercising the δ-cluster model's missing
+	// value handling. 0 keeps the matrix fully specified.
+	MissingFraction float64
+
+	// Integer rounds every specified value to the nearest integer
+	// after generation, as microarray and ratings dumps are integral.
+	// Rounding perturbs each entry by at most 0.5 and adds ≈0.25 of
+	// absolute residue to otherwise perfect clusters.
+	Integer bool
+}
+
+func (c *Config) setDefaults() {
+	if c.RowColRatio == 0 {
+		c.RowColRatio = 3
+	}
+	if c.BackgroundLo == 0 && c.BackgroundHi == 0 {
+		c.BackgroundHi = 600
+	}
+	if c.BiasSpread == 0 {
+		c.BiasSpread = 100
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Rows < 1 || c.Cols < 1 {
+		return fmt.Errorf("synth: matrix %dx%d, want at least 1x1", c.Rows, c.Cols)
+	}
+	if c.NumClusters < 0 {
+		return fmt.Errorf("synth: NumClusters = %d", c.NumClusters)
+	}
+	if c.NumClusters > 0 && c.VolumeMean < 1 {
+		return fmt.Errorf("synth: VolumeMean = %v, want ≥ 1", c.VolumeMean)
+	}
+	if c.VolumeVariance < 0 {
+		return fmt.Errorf("synth: VolumeVariance = %v", c.VolumeVariance)
+	}
+	if c.MissingFraction < 0 || c.MissingFraction >= 1 {
+		return fmt.Errorf("synth: MissingFraction = %v, want in [0, 1)", c.MissingFraction)
+	}
+	if c.BackgroundHi <= c.BackgroundLo {
+		return fmt.Errorf("synth: background range [%v, %v) empty", c.BackgroundLo, c.BackgroundHi)
+	}
+	if c.TargetResidue < 0 {
+		return fmt.Errorf("synth: TargetResidue = %v", c.TargetResidue)
+	}
+	return nil
+}
+
+// Dataset is a generated matrix together with its ground truth.
+type Dataset struct {
+	Matrix   *matrix.Matrix
+	Embedded []cluster.Spec
+	Config   Config
+	// OverlappingClusters counts embedded clusters that could not be
+	// packed disjointly and may have corrupted entries.
+	OverlappingClusters int
+}
+
+// Generate builds a synthetic dataset. Embedded clusters are placed by
+// shelf packing on the matrix grid and then scattered through random
+// row and column permutations: clusters on the same shelf share rows
+// but never columns, clusters on different shelves share no rows, so
+// no two embedded clusters ever claim the same *entry* and each keeps
+// its intended coherence intact. (Entry overlap would let a later
+// cluster overwrite — and corrupt — an earlier one.) When the matrix
+// is too small to pack all requested clusters the remaining ones wrap
+// around to reused rows; their rectangles may then overlap earlier
+// entries, which slightly corrupts coherence — the generator reports
+// this through Dataset.OverlappingClusters.
+func Generate(cfg Config, seed int64) (*Dataset, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed)
+	m := matrix.New(cfg.Rows, cfg.Cols)
+
+	// Background.
+	for i := 0; i < cfg.Rows; i++ {
+		row := m.RowView(i)
+		for j := range row {
+			row[j] = rng.Uniform(cfg.BackgroundLo, cfg.BackgroundHi)
+		}
+	}
+
+	// Embedded clusters.
+	var volumes *stats.VolumeSampler
+	if cfg.NumClusters > 0 {
+		var err error
+		volumes, err = stats.NewVolumeSampler(cfg.VolumeMean, cfg.VolumeVariance)
+		if err != nil {
+			return nil, err
+		}
+	}
+	noiseSigma := cfg.TargetResidue / meanAbsGaussianFactor
+	ds := &Dataset{Config: cfg}
+
+	// Sample shapes, then pack them disjointly onto shelves of the
+	// (virtual) grid. rowPerm/colPerm scatter the contiguous packing
+	// across the matrix so placement is still random.
+	type shape struct{ nRows, nCols int }
+	shapes := make([]shape, cfg.NumClusters)
+	for c := range shapes {
+		v := volumes.Sample(rng)
+		shapes[c].nRows, shapes[c].nCols = shapeVolume(v, cfg.RowColRatio, cfg.Rows, cfg.Cols)
+	}
+	rowPerm := rng.Perm(cfg.Rows)
+
+	// Band allocation: every cluster gets fresh rows for as long as
+	// rows remain (so most objects belong to exactly one cluster, as
+	// in a real workload); once rows are exhausted, clusters move into
+	// existing bands and take columns the band has not used yet, so
+	// entries still never collide. Only when a band has neither enough
+	// height nor free columns does a cluster fall back to overlapping
+	// placement.
+	type band struct {
+		rows    []int // matrix rows of the band
+		colPerm []int // random column order private to this band
+		colOff  int   // columns consumed so far
+	}
+	var bands []*band
+	rowOff := 0
+	var embedded []cluster.Spec
+	for _, sh := range shapes {
+		var rows, cols []int
+		switch {
+		case rowOff+sh.nRows <= cfg.Rows:
+			// Fresh rows: open a new band.
+			b := &band{
+				rows:    rowPerm[rowOff : rowOff+sh.nRows],
+				colPerm: rng.Perm(cfg.Cols),
+			}
+			rowOff += sh.nRows
+			bands = append(bands, b)
+			rows = b.rows
+			cols = b.colPerm[:sh.nCols]
+			b.colOff = sh.nCols
+		default:
+			// Reuse the band with the most free columns that is tall
+			// enough; tolerate a shorter band (the cluster shrinks).
+			var best *band
+			for _, b := range bands {
+				if cfg.Cols-b.colOff < sh.nCols {
+					continue
+				}
+				if best == nil || b.colOff < best.colOff ||
+					(b.colOff == best.colOff && len(b.rows) > len(best.rows)) {
+					best = b
+				}
+			}
+			if best == nil {
+				// No room anywhere: overlapping fallback.
+				ds.OverlappingClusters++
+				start := rng.Intn(maxInt(1, cfg.Rows-sh.nRows+1))
+				rows = rowPerm[start : start+minIntSynth(sh.nRows, cfg.Rows-start)]
+				cols = rng.SampleWithoutReplacement(cfg.Cols, sh.nCols)
+				break
+			}
+			n := minIntSynth(sh.nRows, len(best.rows))
+			rows = best.rows[:n]
+			cols = best.colPerm[best.colOff : best.colOff+sh.nCols]
+			best.colOff += sh.nCols
+		}
+
+		base := rng.Uniform(cfg.BackgroundLo, cfg.BackgroundHi)
+		rowBias := make(map[int]float64, sh.nRows)
+		for _, i := range rows {
+			rowBias[i] = rng.Uniform(-cfg.BiasSpread, cfg.BiasSpread)
+		}
+		colBias := make(map[int]float64, sh.nCols)
+		for _, j := range cols {
+			colBias[j] = rng.Uniform(-cfg.BiasSpread, cfg.BiasSpread)
+		}
+		for _, i := range rows {
+			row := m.RowView(i)
+			for _, j := range cols {
+				val := base + rowBias[i] + colBias[j]
+				if noiseSigma > 0 {
+					val += rng.NormFloat64() * noiseSigma
+				}
+				row[j] = val
+			}
+		}
+		embedded = append(embedded, cluster.FromSpec(m, rows, cols).Spec())
+	}
+
+	if cfg.Integer {
+		for i := 0; i < cfg.Rows; i++ {
+			row := m.RowView(i)
+			for j, v := range row {
+				if !math.IsNaN(v) {
+					row[j] = math.Round(v)
+				}
+			}
+		}
+	}
+
+	// Missing values.
+	if cfg.MissingFraction > 0 {
+		for i := 0; i < cfg.Rows; i++ {
+			for j := 0; j < cfg.Cols; j++ {
+				if rng.Bool(cfg.MissingFraction) {
+					m.SetMissing(i, j)
+				}
+			}
+		}
+	}
+
+	ds.Matrix = m
+	ds.Embedded = embedded
+	return ds, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minIntSynth(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// shapeVolume converts a target volume into a rows×cols shape with the
+// requested aspect ratio, clamped to the matrix bounds and a 2×2
+// minimum.
+func shapeVolume(v int, ratio float64, maxRows, maxCols int) (nRows, nCols int) {
+	fv := float64(v)
+	nRows = int(math.Round(math.Sqrt(fv * ratio)))
+	if nRows < 2 {
+		nRows = 2
+	}
+	if nRows > maxRows {
+		nRows = maxRows
+	}
+	nCols = int(math.Round(fv / float64(nRows)))
+	if nCols < 2 {
+		nCols = 2
+	}
+	if nCols > maxCols {
+		nCols = maxCols
+	}
+	return nRows, nCols
+}

@@ -1,0 +1,373 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/eval"
+)
+
+func TestValidation(t *testing.T) {
+	cases := []Config{
+		{Rows: 0, Cols: 10},
+		{Rows: 10, Cols: 10, NumClusters: -1},
+		{Rows: 10, Cols: 10, NumClusters: 1, VolumeMean: 0},
+		{Rows: 10, Cols: 10, NumClusters: 1, VolumeMean: 10, VolumeVariance: -1},
+		{Rows: 10, Cols: 10, MissingFraction: 1.0},
+		{Rows: 10, Cols: 10, BackgroundLo: 5, BackgroundHi: 5},
+		{Rows: 10, Cols: 10, NumClusters: 1, VolumeMean: 10, TargetResidue: -1},
+	}
+	for i, c := range cases {
+		if _, err := Generate(c, 1); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestGenerateShapeAndRange(t *testing.T) {
+	ds, err := Generate(Config{Rows: 50, Cols: 20}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.Matrix
+	if m.Rows() != 50 || m.Cols() != 20 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if m.SpecifiedCount() != 1000 {
+		t.Errorf("specified = %d, want full", m.SpecifiedCount())
+	}
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 20; j++ {
+			v := m.Get(i, j)
+			if v < 0 || v >= 600 {
+				t.Fatalf("background value %v outside default [0, 600)", v)
+			}
+		}
+	}
+}
+
+func TestEmbeddedClustersCoherent(t *testing.T) {
+	ds, err := Generate(Config{
+		Rows: 400, Cols: 40, NumClusters: 6,
+		VolumeMean: 150, VolumeVariance: 0, RowColRatio: 6,
+		TargetResidue: 5,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Embedded) != 6 {
+		t.Fatalf("embedded = %d, want 6", len(ds.Embedded))
+	}
+	if ds.OverlappingClusters != 0 {
+		t.Errorf("unexpected overlap: %d", ds.OverlappingClusters)
+	}
+	for i, s := range ds.Embedded {
+		r := cluster.ResidueOf(ds.Matrix, s.Rows, s.Cols)
+		// Residue targets ~5; the (1−1/n)(1−1/m) shrinkage makes the
+		// realized value a bit smaller.
+		if r > 7 {
+			t.Errorf("embedded %d residue %v, want ≈5", i, r)
+		}
+		if r < 1 {
+			t.Errorf("embedded %d residue %v suspiciously low for noise target 5", i, r)
+		}
+	}
+}
+
+func TestPerfectClustersWithZeroTarget(t *testing.T) {
+	ds, err := Generate(Config{
+		Rows: 100, Cols: 20, NumClusters: 2,
+		VolumeMean: 100, VolumeVariance: 0, RowColRatio: 5,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range ds.Embedded {
+		if r := cluster.ResidueOf(ds.Matrix, s.Rows, s.Cols); r > 1e-9 {
+			t.Errorf("embedded %d residue %v, want 0 (no noise)", i, r)
+		}
+	}
+}
+
+// Ground-truth rectangles must never share a specified entry when the
+// generator reports zero overlapping clusters.
+func TestEmbeddedEntriesDisjoint(t *testing.T) {
+	ds, err := Generate(Config{
+		Rows: 600, Cols: 50, NumClusters: 12,
+		VolumeMean: 200, VolumeVariance: 2, RowColRatio: 8,
+		TargetResidue: 3,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.OverlappingClusters > 0 {
+		t.Skip("packing fell back to overlap; disjointness not promised")
+	}
+	seen := map[[2]int]int{}
+	for ci, s := range ds.Embedded {
+		for _, i := range s.Rows {
+			for _, j := range s.Cols {
+				if prev, ok := seen[[2]int{i, j}]; ok {
+					t.Fatalf("entry (%d,%d) in clusters %d and %d", i, j, prev, ci)
+				}
+				seen[[2]int{i, j}] = ci
+			}
+		}
+	}
+}
+
+func TestRowSharingOnlyWhenNecessary(t *testing.T) {
+	// 4 clusters of 25 rows in a 100-row matrix: row-disjoint.
+	ds, err := Generate(Config{
+		Rows: 100, Cols: 30, NumClusters: 4,
+		VolumeMean: 125, VolumeVariance: 0, RowColRatio: 5,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowUse := map[int]int{}
+	for _, s := range ds.Embedded {
+		for _, r := range s.Rows {
+			rowUse[r]++
+		}
+	}
+	for r, n := range rowUse {
+		if n > 1 {
+			t.Fatalf("row %d used by %d clusters despite free rows", r, n)
+		}
+	}
+}
+
+func TestMissingFraction(t *testing.T) {
+	ds, err := Generate(Config{
+		Rows: 200, Cols: 50, MissingFraction: 0.3,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := 1 - ds.Matrix.FillFraction()
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Errorf("missing fraction %v, want ≈0.3", frac)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Rows: 60, Cols: 20, NumClusters: 2, VolumeMean: 60, RowColRatio: 4, TargetResidue: 2}
+	a, _ := Generate(cfg, 11)
+	b, _ := Generate(cfg, 11)
+	if !a.Matrix.Equal(b.Matrix) {
+		t.Error("same seed produced different matrices")
+	}
+	c, _ := Generate(cfg, 12)
+	if a.Matrix.Equal(c.Matrix) {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+func TestVolumeVarianceSpreadsShapes(t *testing.T) {
+	flat, _ := Generate(Config{
+		Rows: 2000, Cols: 60, NumClusters: 10,
+		VolumeMean: 300, VolumeVariance: 0, RowColRatio: 8, TargetResidue: 2,
+	}, 13)
+	spread, _ := Generate(Config{
+		Rows: 2000, Cols: 60, NumClusters: 10,
+		VolumeMean: 300, VolumeVariance: 10000, RowColRatio: 8, TargetResidue: 2,
+	}, 13)
+	varOf := func(ds *Dataset) float64 {
+		var vols []float64
+		for _, s := range ds.Embedded {
+			vols = append(vols, float64(len(s.Rows)*len(s.Cols)))
+		}
+		mean := 0.0
+		for _, v := range vols {
+			mean += v
+		}
+		mean /= float64(len(vols))
+		va := 0.0
+		for _, v := range vols {
+			va += (v - mean) * (v - mean)
+		}
+		return va / float64(len(vols))
+	}
+	if varOf(spread) <= varOf(flat) {
+		t.Errorf("variance knob had no effect: %v vs %v", varOf(spread), varOf(flat))
+	}
+}
+
+func TestShapeVolume(t *testing.T) {
+	r, c := shapeVolume(120, 12, 3000, 100)
+	if r*c < 100 || r*c > 150 {
+		t.Errorf("shape %dx%d volume %d, want ≈120", r, c, r*c)
+	}
+	r, c = shapeVolume(1, 1, 10, 10)
+	if r < 2 || c < 2 {
+		t.Errorf("minimum shape violated: %dx%d", r, c)
+	}
+	r, c = shapeVolume(1000000, 1, 10, 10)
+	if r > 10 || c > 10 {
+		t.Errorf("clamping violated: %dx%d", r, c)
+	}
+}
+
+// Property: generated ground truth is always within matrix bounds and
+// every embedded spec is sorted.
+func TestEmbeddedSpecsValidProperty(t *testing.T) {
+	f := func(seed int64, rawK uint8) bool {
+		k := int(rawK%5) + 1
+		ds, err := Generate(Config{
+			Rows: 120, Cols: 25, NumClusters: k,
+			VolumeMean: 60, VolumeVariance: 1, RowColRatio: 4,
+			TargetResidue: 2,
+		}, seed)
+		if err != nil {
+			return false
+		}
+		for _, s := range ds.Embedded {
+			for x := 1; x < len(s.Rows); x++ {
+				if s.Rows[x-1] >= s.Rows[x] {
+					return false
+				}
+			}
+			for x := 1; x < len(s.Cols); x++ {
+				if s.Cols[x-1] >= s.Cols[x] {
+					return false
+				}
+			}
+			for _, r := range s.Rows {
+				if r < 0 || r >= 120 {
+					return false
+				}
+			}
+			for _, c := range s.Cols {
+				if c < 0 || c >= 25 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovieLensShape(t *testing.T) {
+	cfg := DefaultMovieLensConfig()
+	cfg.Users = 200
+	cfg.Movies = 300
+	cfg.Ratings = 8000
+	cfg.Groups = 4
+	ds, err := MovieLens(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.Matrix
+	if m.Rows() != 200 || m.Cols() != 300 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	// Sparse, every user ≥ some ratings, values integer in [1, 10].
+	if m.FillFraction() > 0.5 {
+		t.Errorf("fill fraction %v, want sparse", m.FillFraction())
+	}
+	for u := 0; u < 200; u++ {
+		n := m.RowSpecified(u)
+		if n < cfg.MinPerUser/2 {
+			t.Fatalf("user %d has only %d ratings", u, n)
+		}
+	}
+	for u := 0; u < 200; u++ {
+		for v := 0; v < 300; v++ {
+			if !m.IsSpecified(u, v) {
+				continue
+			}
+			x := m.Get(u, v)
+			if x != math.Trunc(x) || x < 1 || x > 10 {
+				t.Fatalf("rating %v not an integer in [1, 10]", x)
+			}
+		}
+	}
+	if len(ds.GroupUsers) != 4 || len(ds.GroupMovies) != 4 {
+		t.Errorf("groups not recorded")
+	}
+}
+
+func TestMovieLensValidation(t *testing.T) {
+	if _, err := MovieLens(MovieLensConfig{Users: 0, Movies: 5}, 1); err == nil {
+		t.Error("0 users accepted")
+	}
+	if _, err := MovieLens(MovieLensConfig{Users: 5, Movies: 5, MinPerUser: 10}, 1); err == nil {
+		t.Error("MinPerUser > Movies accepted")
+	}
+}
+
+func TestYeastShapeAndGroundTruth(t *testing.T) {
+	cfg := DefaultYeastConfig()
+	cfg.Genes = 400
+	cfg.Modules = 6
+	ds, err := Yeast(cfg, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Matrix.Rows() != 400 || ds.Matrix.Cols() != 17 {
+		t.Fatalf("shape %dx%d", ds.Matrix.Rows(), ds.Matrix.Cols())
+	}
+	if len(ds.Embedded) != 6 {
+		t.Fatalf("modules = %d", len(ds.Embedded))
+	}
+	// Modules should be far more coherent than random submatrices.
+	for i, s := range ds.Embedded {
+		r := cluster.ResidueOf(ds.Matrix, s.Rows, s.Cols)
+		if r > 3*cfg.NoiseResidue {
+			t.Errorf("module %d residue %v vs noise target %v", i, r, cfg.NoiseResidue)
+		}
+	}
+	// Values integral and in plausible microarray range.
+	for i := 0; i < 400; i++ {
+		for j := 0; j < 17; j++ {
+			v := ds.Matrix.Get(i, j)
+			if v != math.Trunc(v) {
+				t.Fatalf("value %v not integral", v)
+			}
+		}
+	}
+}
+
+func TestYeastValidation(t *testing.T) {
+	if _, err := Yeast(YeastConfig{Genes: 0, Conditions: 17}, 1); err == nil {
+		t.Error("0 genes accepted")
+	}
+	if _, err := Yeast(YeastConfig{Genes: 10, Conditions: 10, Modules: 1, GenesPerModule: 1, ConditionsPerModule: 5}, 1); err == nil {
+		t.Error("1-gene module accepted")
+	}
+}
+
+// The MovieLens stand-in must contain δ-cluster structure: a group's
+// users on its genre movies should be far more coherent than random
+// users on random movies.
+func TestMovieLensGroupCoherence(t *testing.T) {
+	cfg := DefaultMovieLensConfig()
+	cfg.Users = 300
+	cfg.Movies = 400
+	cfg.Ratings = 40000
+	cfg.Groups = 3
+	ds, err := MovieLens(cfg, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupRes := cluster.ResidueOf(ds.Matrix, ds.GroupUsers[0], ds.GroupMovies[0])
+	all := make([]int, 300)
+	for i := range all {
+		all[i] = i
+	}
+	allM := make([]int, 400)
+	for j := range allM {
+		allM[j] = j
+	}
+	globalRes := cluster.ResidueOf(ds.Matrix, all, allM)
+	if !(groupRes < globalRes) {
+		t.Errorf("group residue %v not below global %v", groupRes, globalRes)
+	}
+	_ = eval.Entry{}
+}
