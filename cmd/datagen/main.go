@@ -73,15 +73,30 @@ func main() {
 		fatal(err)
 	}
 	if *truth != "" {
-		f, err := os.Create(*truth)
-		if err != nil {
+		if err := writeTruth(*truth, embedded); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		for _, s := range embedded {
-			fmt.Fprintf(f, "rows=%s cols=%s\n", joinInts(s.Rows), joinInts(s.Cols))
+	}
+}
+
+// writeTruth writes the ground-truth cluster file, surfacing write
+// and close errors — a silently truncated truth file would skew every
+// recall/precision figure computed from it.
+func writeTruth(path string, embedded []deltacluster.ClusterSpec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, s := range embedded {
+		if _, err := fmt.Fprintf(f, "rows=%s cols=%s\n", joinInts(s.Rows), joinInts(s.Cols)); err != nil {
+			_ = f.Close() // the write error is the one worth reporting
+			return fmt.Errorf("writing %s: %w", path, err)
 		}
 	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
 }
 
 func joinInts(xs []int) string {

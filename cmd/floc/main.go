@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only; nothing to recover from a close error
 
 	opts := deltacluster.IOOptions{Header: *header, RowLabels: *rowLabels, MissingToken: *missing}
 	if *tsv {

@@ -1,0 +1,231 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework modeled on golang.org/x/tools/go/analysis. It exists
+// because this repository's correctness claims — seeded, replayable
+// FLOC runs whose residue bookkeeping stays exactly consistent after
+// every toggle — are easy to break with ordinary Go: an unordered map
+// range in a scoring loop, a stray math/rand global call, a raw ==
+// between float64 residues. The deltavet analyzers (subpackages
+// maporder, seededrand, floatcmp and residueinvariant) turn those
+// disciplines into machine-checked invariants; cmd/deltavet is the
+// multichecker driver that runs them over the module.
+//
+// The framework deliberately mirrors the x/tools API surface
+// (Analyzer, Pass, Diagnostic) so the analyzers can migrate to the
+// real go/analysis framework verbatim if the dependency ever becomes
+// available. Only the loader (load.go) is bespoke: it type-checks the
+// module from source with a go/types importer that resolves
+// module-internal packages itself and delegates the standard library
+// to the compiler's source importer.
+//
+// # Source markers
+//
+// The analyzers are driven by comment markers rather than hardcoded
+// package lists, so the discipline is visible in the code it governs:
+//
+//   - "deltavet:deterministic" in any comment of a package opts the
+//     package into the determinism suite (maporder, seededrand,
+//     floatcmp).
+//   - "deltavet:guard" on a struct field marks it as part of a cached
+//     invariant (residues, running sums); only functions whose doc
+//     comment carries "deltavet:writer" may assign to it
+//     (residueinvariant).
+//   - "deltavet:approx-helper" on a function's doc comment allows raw
+//     float comparisons inside it — the epsilon helpers themselves
+//     need ==/!= to define tolerance semantics.
+//   - "deltavet:ignore <analyzer> -- <reason>" on the flagged line (or
+//     the line above) suppresses one analyzer's diagnostics for that
+//     line. The reason is mandatory by convention and reviewed like
+//     code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// deltavet:ignore directives. By convention it is a single
+	// lowercase word.
+	Name string
+
+	// Doc is the one-paragraph description printed by the driver's
+	// -help output.
+	Doc string
+
+	// Run executes the pass over one package and reports findings via
+	// pass.Report. The returned value is unused by the driver (it
+	// exists for API parity with x/tools facts/results).
+	Run func(pass *Pass) (any, error)
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed non-test sources, build-tag filtered
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The framework filters
+	// suppressed diagnostics (deltavet:ignore) before they reach the
+	// driver or the test harness.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the framework
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// DeterministicMarker is the package opt-in marker for the
+// determinism analyzers.
+const DeterministicMarker = "deltavet:deterministic"
+
+// GuardMarker marks a struct field as a guarded invariant cache.
+const GuardMarker = "deltavet:guard"
+
+// WriterMarker marks a function as an approved writer of guarded
+// fields.
+const WriterMarker = "deltavet:writer"
+
+// ApproxHelperMarker marks a function as an approved epsilon helper
+// in which raw float comparisons are allowed.
+const ApproxHelperMarker = "deltavet:approx-helper"
+
+// PackageMarked reports whether any comment in the package's files
+// contains the marker string.
+func PackageMarked(files []*ast.File, marker string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, marker) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CommentGroupMarked reports whether the (possibly nil) comment group
+// contains the marker string.
+func CommentGroupMarked(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnclosingFuncDecl returns the innermost top-level function
+// declaration of file whose body contains pos, or nil. Function
+// literals inherit their enclosing declaration: the discipline
+// markers (writer, approx-helper) annotate the named function that
+// owns the code.
+func EnclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+var ignoreRe = regexp.MustCompile(`deltavet:ignore\s+([a-z, ]+)`)
+
+// suppressedLines maps analyzer name -> set of file:line keys on
+// which that analyzer is suppressed via deltavet:ignore directives. A
+// directive suppresses its own line and, when it is the only thing on
+// its line, the following line.
+func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	add := func(name, key string) {
+		if out[name] == nil {
+			out[name] = map[string]bool{}
+		}
+		out[name][key] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					add(name, fmt.Sprintf("%s:%d", pos.Filename, pos.Line))
+					add(name, fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// surviving diagnostics sorted by position. Suppression directives
+// are honored here so every consumer (driver, tests) sees the same
+// view.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		suppressed := suppressedLines(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				p := pkg.Fset.Position(d.Pos)
+				if suppressed[a.Name][fmt.Sprintf("%s:%d", p.Filename, p.Line)] {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,108 @@
+// Package analysistest runs analyzers over testdata fixture packages
+// and checks their diagnostics against `// want "regexp"` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest. A line may
+// carry several want patterns; each must be matched by a distinct
+// diagnostic on that line, and every diagnostic must be wanted.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"deltacluster/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+var patRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads each fixture package testdata/src/<pkg> relative to dir
+// and applies the analyzers, comparing diagnostics with the
+// fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, pkg := range pkgs {
+		fixDir := filepath.Join(dir, "testdata", "src", pkg)
+		p, err := loader.LoadDir(fixDir, "fixture/"+pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkg, err)
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Package{p}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		}
+		check(t, p, diags)
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check compares diagnostics against want comments, reporting every
+// unmatched expectation and every unexpected diagnostic.
+func check(t *testing.T, p *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*want{} // file:line -> expectations
+	for _, f := range p.Files {
+		fileWants(t, p, f, wants)
+	}
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		ws := wants[key]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.raw)
+			}
+		}
+	}
+}
+
+func fileWants(t *testing.T, p *analysis.Package, f *ast.File, wants map[string][]*want) {
+	t.Helper()
+	base := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			key := fmt.Sprintf("%s:%d", base, line)
+			for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+				pat := pm[2] // backquoted form
+				if pm[1] != "" || pm[2] == "" {
+					pat = strings.ReplaceAll(pm[1], `\"`, `"`)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+				}
+				wants[key] = append(wants[key], &want{re: re, raw: pat})
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package floatcmp flags == and != between floating-point expressions
+// in packages marked deltavet:deterministic. Residues, gains and
+// bases are accumulated incrementally in the FLOC engine; two
+// mathematically equal quantities computed along different paths
+// routinely differ in the last ulp, so raw equality silently turns
+// into "usually true" and breaks tie decisions and termination
+// checks. Such comparisons must go through the epsilon helpers in
+// internal/stats (EqualWithin, Close) or be rewritten as ordered
+// comparisons.
+//
+// Functions whose doc comment carries deltavet:approx-helper are
+// exempt — the helpers themselves define the tolerance semantics and
+// legitimately use raw comparisons (e.g. for the exact-equality fast
+// path or infinity handling).
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the floatcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags ==/!= between floats in deltavet:deterministic packages; " +
+		"compare residues and gains through the internal/stats epsilon helpers",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PackageMarked(pass.Files, analysis.DeterministicMarker) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			if fd := analysis.EnclosingFuncDecl(file, be.Pos()); fd != nil &&
+				analysis.CommentGroupMarked(fd.Doc, analysis.ApproxHelperMarker) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"raw %s between floating-point values; use an epsilon helper (stats.EqualWithin/stats.Close) or an ordered comparison",
+				be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Float32, types.Float64, types.UntypedFloat:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+// Package a exercises floatcmp: deltavet:deterministic.
+package a
+
+type residue struct {
+	value float64
+}
+
+func equalResidue(a, b float64) bool {
+	return a == b // want `raw == between floating-point values`
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want `raw != between floating-point values`
+}
+
+func fieldCompare(a, b residue) bool {
+	return a.value == b.value // want `raw == between floating-point values`
+}
+
+func zeroCheck(x float64) bool {
+	return x == 0 // want `raw == between floating-point values`
+}
+
+func ordered(a, b float64) bool {
+	return a <= b // ordered comparisons are clean
+}
+
+func ints(a, b int) bool {
+	return a == b // integer equality is exact: clean
+}
+
+// approxEqual is this package's epsilon helper.
+//
+// deltavet:approx-helper
+func approxEqual(a, b, tol float64) bool {
+	if a == b { // clean: inside an approved helper
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func viaHelper(a, b float64) bool {
+	return approxEqual(a, b, 1e-9)
+}

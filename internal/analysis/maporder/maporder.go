@@ -1,0 +1,161 @@
+// Package maporder flags `for range` loops over maps in packages
+// marked deltavet:deterministic. Go randomizes map iteration order on
+// purpose; inside the FLOC engine, the residue bookkeeping and the
+// evaluation pipeline, an unordered range can change which action
+// wins a tie, which cluster a report lists first, or the order
+// floating-point sums accumulate in — all of which break the
+// same-seed ⇒ byte-identical-output guarantee this repository
+// advertises.
+//
+// The approved idiom is "collect, sort, then range": a loop whose
+// body only appends the map's keys or values to a slice that is
+// sorted later in the same function is not flagged, because its
+// observable result is order-independent. Everything else needs
+// either a sorted key slice or an explicit
+// `deltavet:ignore maporder -- <reason>` directive arguing
+// order-independence.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags nondeterministic map iteration in deltavet:deterministic packages " +
+		"unless the loop only collects into a slice that is sorted afterwards",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PackageMarked(pass.Files, analysis.DeterministicMarker) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectsThenSorts(pass, file, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"nondeterministic iteration over map %s in deterministic package; range over sorted keys instead",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectsThenSorts reports whether the range loop is the approved
+// collect-then-sort idiom: every statement of the body appends to
+// slice variables, and each of those variables is passed to a sort
+// call later in the enclosing function.
+func collectsThenSorts(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	var targets []types.Object
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	fd := analysis.EnclosingFuncDecl(file, rs.Pos())
+	if fd == nil {
+		return false
+	}
+	for _, target := range targets {
+		if !sortedAfter(pass, fd, rs, target) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortNames are the sort entry points that establish a deterministic
+// order over a whole slice.
+var sortNames = map[string]map[string]bool{
+	"sort": {
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+		"Ints": true, "Strings": true, "Float64s": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether target is the first argument of an
+// approved sort call positioned after the range loop in fd.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		funcs, ok := sortNames[pkgName.Imported().Path()]
+		if !ok || !funcs[sel.Sel.Name] {
+			return true
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.TypesInfo.Uses[arg] == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

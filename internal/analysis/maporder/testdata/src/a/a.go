@@ -1,0 +1,67 @@
+// Package a exercises the maporder analyzer. The package opts into
+// the determinism suite: deltavet:deterministic.
+package a
+
+import "sort"
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `nondeterministic iteration over map`
+		total += v
+	}
+	return total
+}
+
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort idiom: clean
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func valuesViaSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // sorted with sort.Slice afterwards: clean
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `nondeterministic iteration over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mixedBody(m map[string]int) ([]string, int) {
+	n := 0
+	var keys []string
+	for k := range m { // want `nondeterministic iteration over map`
+		keys = append(keys, k)
+		n++ // extra statement: not the pure collect idiom
+	}
+	sort.Strings(keys)
+	return keys, n
+}
+
+func overSlice(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices are ordered: clean
+		total += v
+	}
+	return total
+}
+
+func suppressed(m map[string]int) int {
+	n := 0
+	//deltavet:ignore maporder -- pure count, order-independent
+	for range m {
+		n++
+	}
+	return n
+}

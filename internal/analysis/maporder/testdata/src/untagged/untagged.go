@@ -1,0 +1,11 @@
+// Package untagged has no determinism marker; map iteration is not
+// the analyzer's business here.
+package untagged
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // clean: package not marked deterministic
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,126 @@
+// Package residueinvariant enforces single-writer discipline over
+// cached invariants. The FLOC engine keeps residues, their running
+// sum and per-cluster costs incrementally consistent with cluster
+// membership; the cluster package does the same for its per-row and
+// per-column aggregate sums. One stray assignment from a new code
+// path — easy to introduce while adding parallelism or sharding —
+// silently desynchronizes the caches from the data they summarize,
+// and the corruption only surfaces as slightly-wrong residues many
+// iterations later.
+//
+// The rule: a struct field whose comment carries deltavet:guard may
+// only be assigned (including +=, ++, and friends) inside functions
+// of the same package whose doc comment carries deltavet:writer.
+// Reads are unrestricted. The check is syntactic over assignment
+// statements; writes that alias the field first (copy into a slice
+// field obtained elsewhere, pointer escapes) are out of scope and
+// are instead caught at runtime by the deltadebug build-tag
+// assertions in internal/floc.
+package residueinvariant
+
+import (
+	"go/ast"
+	"go/types"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the residueinvariant pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "residueinvariant",
+	Doc: "restricts assignments to deltavet:guard struct fields to functions " +
+		"marked deltavet:writer, keeping residue bookkeeping single-writer",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	guarded := guardedFields(pass)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var lhs []ast.Expr
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				lhs = stmt.Lhs
+			case *ast.IncDecStmt:
+				lhs = []ast.Expr{stmt.X}
+			default:
+				return true
+			}
+			for _, e := range lhs {
+				fld := guardedTarget(pass, guarded, e)
+				if fld == nil {
+					continue
+				}
+				fd := analysis.EnclosingFuncDecl(file, e.Pos())
+				if fd != nil && analysis.CommentGroupMarked(fd.Doc, analysis.WriterMarker) {
+					continue
+				}
+				where := "package-level code"
+				if fd != nil {
+					where = fd.Name.Name
+				}
+				pass.Reportf(e.Pos(),
+					"write to guarded field %s outside an approved writer (%s is not marked deltavet:writer)",
+					fld.Name(), where)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// guardedFields collects the *types.Var of every struct field whose
+// declaration comment contains the guard marker.
+func guardedFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !analysis.CommentGroupMarked(field.Doc, analysis.GuardMarker) &&
+					!analysis.CommentGroupMarked(field.Comment, analysis.GuardMarker) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardedTarget resolves an assignment target to a guarded field, if
+// it is one. Both direct selectors (e.resSum = …) and indexed
+// selectors over guarded slice/map fields (e.residues[c] = …) count
+// as writes to the field.
+func guardedTarget(pass *analysis.Pass, guarded map[*types.Var]bool, e ast.Expr) *types.Var {
+	for {
+		ix, ok := e.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		e = ix.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	if v, ok := s.Obj().(*types.Var); ok && guarded[v] {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package residueinvariant_test
+
+import (
+	"testing"
+
+	"deltacluster/internal/analysis/analysistest"
+	"deltacluster/internal/analysis/residueinvariant"
+)
+
+func TestResidueInvariant(t *testing.T) {
+	analysistest.Run(t, ".", residueinvariant.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+// Package a exercises residueinvariant: an engine-like struct whose
+// cached sums are guarded.
+package a
+
+type engine struct {
+	clusters []int
+	residues []float64 // cached per-cluster residue // deltavet:guard
+	resSum   float64   // running sum // deltavet:guard
+	scratch  float64   // unguarded
+}
+
+// apply is the approved incremental writer (deltavet:writer).
+func (e *engine) apply(c int, delta float64) {
+	e.residues[c] += delta // clean: inside a writer
+	e.resSum += delta      // clean: inside a writer
+}
+
+// rebuild recomputes everything from scratch (deltavet:writer).
+func (e *engine) rebuild(values []float64) {
+	e.resSum = 0 // clean
+	for c, v := range values {
+		e.residues[c] = v // clean
+		e.resSum += v     // clean
+	}
+}
+
+// sneakyUpdate is NOT an approved writer.
+func (e *engine) sneakyUpdate(c int, v float64) {
+	e.residues[c] = v // want `write to guarded field residues outside an approved writer`
+	e.resSum += v     // want `write to guarded field resSum outside an approved writer`
+}
+
+func (e *engine) reader(c int) float64 {
+	return e.residues[c] + e.resSum // reads are unrestricted
+}
+
+func (e *engine) unguardedWrite(v float64) {
+	e.scratch = v // clean: field not guarded
+}
+
+func (e *engine) increment() {
+	e.resSum++ // want `write to guarded field resSum outside an approved writer`
+}
+
+func (e *engine) inClosure() func() {
+	return func() {
+		e.resSum = 0 // want `write to guarded field resSum outside an approved writer`
+	}
+}
+
+// escapeHatch shows the suppression directive.
+func (e *engine) escapeHatch() {
+	//deltavet:ignore residueinvariant -- test-only corruption helper
+	e.resSum = -1
+}

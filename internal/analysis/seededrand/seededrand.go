@@ -1,0 +1,79 @@
+// Package seededrand enforces the repository's seeding discipline:
+// all randomness flows through the injected *stats.RNG, never the
+// process-global math/rand source. Two rules:
+//
+//  1. In every package, calls to math/rand (and math/rand/v2)
+//     top-level functions — Intn, Float64, Shuffle, Perm, Seed, … —
+//     are flagged: they draw from the shared global generator, whose
+//     stream depends on everything else in the process, so a run can
+//     never be replayed from its seed.
+//  2. In packages marked deltavet:deterministic, importing math/rand
+//     at all is flagged: algorithm code must take the seeded
+//     internal/stats RNG as a dependency rather than construct its
+//     own generator (seeded or not), so that one Config.Seed
+//     determines every draw of a run.
+//
+// internal/stats itself is the sanctioned wrapper; it is not marked
+// deterministic and only touches math/rand through *rand.Rand method
+// receivers, which rule 1 deliberately does not match.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the seededrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbids math/rand global-source calls everywhere and math/rand imports " +
+		"in deltavet:deterministic packages; use the injected internal/stats RNG",
+	Run: run,
+}
+
+func randPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	deterministic := analysis.PackageMarked(pass.Files, analysis.DeterministicMarker)
+	for _, file := range pass.Files {
+		if deterministic {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err == nil && randPath(path) {
+					pass.Reportf(imp.Pos(),
+						"deterministic package imports %s; inject a seeded *stats.RNG instead", path)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPath(fn.Pkg().Path()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are fine
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+				// Constructors build an explicit generator; the import
+				// rule above governs where that is allowed.
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the process-global source and is not replayable from a seed; use a seeded *stats.RNG",
+				fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

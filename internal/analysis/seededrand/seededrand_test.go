@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"deltacluster/internal/analysis/analysistest"
+	"deltacluster/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, ".", seededrand.Analyzer, "a", "untagged")
+}

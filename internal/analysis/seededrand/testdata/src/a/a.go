@@ -1,0 +1,24 @@
+// Package a exercises seededrand in an algorithm package:
+// deltavet:deterministic.
+package a
+
+import "math/rand" // want `deterministic package imports math/rand`
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global source`
+}
+
+func draw() float64 {
+	return rand.Float64() // want `process-global source`
+}
+
+func seeded() *rand.Rand {
+	// Still wrong in a deterministic package (the import is flagged
+	// above), but the constructor call itself is not a global-source
+	// draw.
+	return rand.New(rand.NewSource(42))
+}
+
+func viaExplicitGenerator(r *rand.Rand) int {
+	return r.Intn(10) // method on an explicit generator: clean
+}

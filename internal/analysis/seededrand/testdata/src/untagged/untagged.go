@@ -1,0 +1,16 @@
+// Package untagged is not marked deterministic: importing math/rand
+// is allowed (this is how the sanctioned wrapper is built), but
+// global-source draws are still flagged everywhere.
+package untagged
+
+import "math/rand"
+
+// NewGen builds an explicit, seeded generator: clean.
+func NewGen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draw uses the process-global source: flagged even here.
+func Draw() int {
+	return rand.Intn(100) // want `process-global source`
+}

@@ -20,6 +20,11 @@
 // m vertices, i.e. m(m−1)/2 derived dimensions. The quadratic
 // dimensionality blow-up is the reason the paper's Figure 10 shows
 // this approach losing to FLOC as attributes grow.
+//
+// This package is marked deltavet:deterministic — the benchmark
+// comparisons against FLOC require replayable cluster output, so
+// cmd/deltavet forbids unordered map iteration, direct math/rand use
+// and raw float equality here.
 package clique
 
 import (
@@ -246,16 +251,25 @@ func nextLevel(level map[unitKey]unit, binOf [][]int16, minCount, maxUnits int) 
 	prefix := func(u unit) unitKey {
 		return makeKey(u.dims[:len(u.dims)-1], u.bins[:len(u.bins)-1])
 	}
+	// Group keys are recorded in first-appearance order; units is
+	// sorted, so the grouping — and with it the candidate order — is
+	// deterministic without iterating the map.
 	groups := make(map[unitKey][]unit)
+	var groupKeys []unitKey
 	for _, u := range units {
-		groups[prefix(u)] = append(groups[prefix(u)], u)
+		k := prefix(u)
+		if _, ok := groups[k]; !ok {
+			groupKeys = append(groupKeys, k)
+		}
+		groups[k] = append(groups[k], u)
 	}
 	if maxUnits > 0 {
 		// The join enumerates ~Σ|group|²/2 candidates; abort before
 		// materializing a hopeless blow-up (the quantity Figure 10
 		// demonstrates) rather than after.
 		pairs := 0
-		for _, g := range groups {
+		for _, k := range groupKeys {
+			g := groups[k]
 			pairs += len(g) * (len(g) - 1) / 2
 			if pairs > 200*maxUnits {
 				return nil, fmt.Errorf("clique: candidate join of ~%d pairs exceeds budget (MaxUnits=%d)", pairs, maxUnits)
@@ -267,7 +281,8 @@ func nextLevel(level map[unitKey]unit, binOf [][]int16, minCount, maxUnits int) 
 		bins []int
 	}
 	var cands []cand
-	for _, g := range groups {
+	for _, gk := range groupKeys {
+		g := groups[gk]
 		for a := 0; a < len(g); a++ {
 			for b := a + 1; b < len(g); b++ {
 				ua, ub := g[a], g[b]
@@ -352,14 +367,20 @@ func allSubsetsDense(dims, bins []int, level map[unitKey]unit) bool {
 // adjacency components (two units are adjacent when they share the
 // subspace and differ by exactly one in exactly one bin).
 func connectedComponents(units []unit) [][]unit {
-	// Group by subspace first.
+	// Group by subspace first, keeping first-appearance order so the
+	// component (and final cluster) order is deterministic.
 	bySubspace := make(map[string][]unit)
+	var subspaceKeys []string
 	for _, u := range units {
 		k := fmt.Sprint(u.dims)
+		if _, ok := bySubspace[k]; !ok {
+			subspaceKeys = append(subspaceKeys, k)
+		}
 		bySubspace[k] = append(bySubspace[k], u)
 	}
 	var comps [][]unit
-	for _, group := range bySubspace {
+	for _, sk := range subspaceKeys {
+		group := bySubspace[sk]
 		n := len(group)
 		parent := make([]int, n)
 		for i := range parent {
@@ -384,8 +405,13 @@ func connectedComponents(units []unit) [][]unit {
 		for i, u := range group {
 			byRoot[find(i)] = append(byRoot[find(i)], u)
 		}
-		for _, comp := range byRoot {
-			comps = append(comps, comp)
+		roots := make([]int, 0, len(byRoot))
+		for r := range byRoot {
+			roots = append(roots, r)
+		}
+		sort.Ints(roots)
+		for _, r := range roots {
+			comps = append(comps, byRoot[r])
 		}
 	}
 	return comps

@@ -20,6 +20,11 @@
 // Adding or removing one row (column) costs O(columns) (O(rows));
 // computing the residue costs O(volume), matching the complexity
 // analysis in Section 4.2 of the paper.
+//
+// This package is marked deltavet:deterministic — its aggregates feed
+// the FLOC engine's replayable bookkeeping, so cmd/deltavet forbids
+// unordered map iteration, direct math/rand use and raw float
+// equality here.
 package cluster
 
 import (
@@ -56,13 +61,18 @@ type Cluster struct {
 	memberRows []int
 	memberCols []int
 
-	rowSum []float64 // per matrix row: sum of specified entries over member cols
-	rowCnt []int
-	colSum []float64
-	colCnt []int
+	// The aggregate caches below are guarded: they must track the
+	// membership sets exactly or every base and residue goes subtly
+	// wrong, so only the membership mutators and the wholesale
+	// rebuild/copy functions (marked deltavet:writer) may assign
+	// them — enforced by cmd/deltavet's residueinvariant pass.
+	rowSum []float64 // per matrix row: sum of specified entries over member cols // deltavet:guard
+	rowCnt []int     // per matrix row: count of those entries // deltavet:guard
+	colSum []float64 // per matrix col: sum of specified entries over member rows // deltavet:guard
+	colCnt []int     // per matrix col: count of those entries // deltavet:guard
 
-	total  float64 // sum of all specified entries in the submatrix
-	volume int     // count of specified entries in the submatrix
+	total  float64 // sum of all specified entries in the submatrix // deltavet:guard
+	volume int     // count of specified entries in the submatrix // deltavet:guard
 }
 
 // New returns an empty δ-cluster over m.
@@ -135,7 +145,8 @@ func (c *Cluster) Cols() []int {
 	return out
 }
 
-// AddRow inserts matrix row i. It panics if i is already a member.
+// AddRow inserts matrix row i, folding its entries into the guarded
+// aggregates (deltavet:writer). It panics if i is already a member.
 func (c *Cluster) AddRow(i int) {
 	if c.rowPos[i] >= 0 {
 		panic(fmt.Sprintf("cluster: AddRow(%d): already a member", i))
@@ -157,7 +168,9 @@ func (c *Cluster) AddRow(i int) {
 	}
 }
 
-// RemoveRow removes matrix row i. It panics if i is not a member.
+// RemoveRow removes matrix row i, unwinding its entries from the
+// guarded aggregates (deltavet:writer). It panics if i is not a
+// member.
 func (c *Cluster) RemoveRow(i int) {
 	pos := c.rowPos[i]
 	if pos < 0 {
@@ -185,7 +198,9 @@ func (c *Cluster) RemoveRow(i int) {
 	c.rowCnt[i] = 0
 }
 
-// AddCol inserts matrix column j. It panics if j is already a member.
+// AddCol inserts matrix column j, folding its entries into the
+// guarded aggregates (deltavet:writer). It panics if j is already a
+// member.
 func (c *Cluster) AddCol(j int) {
 	if c.colPos[j] >= 0 {
 		panic(fmt.Sprintf("cluster: AddCol(%d): already a member", j))
@@ -206,7 +221,9 @@ func (c *Cluster) AddCol(j int) {
 	}
 }
 
-// RemoveCol removes matrix column j. It panics if j is not a member.
+// RemoveCol removes matrix column j, unwinding its entries from the
+// guarded aggregates (deltavet:writer). It panics if j is not a
+// member.
 func (c *Cluster) RemoveCol(j int) {
 	pos := c.colPos[j]
 	if pos < 0 {
@@ -435,8 +452,9 @@ func (c *Cluster) Clone() *Cluster {
 }
 
 // CopyFrom makes c an exact copy of o (which must be over the same
-// matrix shape). It reuses c's storage, so restoring a checkpoint in
-// the FLOC engine does not allocate.
+// matrix shape), guarded aggregates included (deltavet:writer). It
+// reuses c's storage, so restoring a checkpoint in the FLOC engine
+// does not allocate.
 func (c *Cluster) CopyFrom(o *Cluster) {
 	c.m = o.m
 	copy(c.rowPos, o.rowPos)
@@ -451,10 +469,10 @@ func (c *Cluster) CopyFrom(o *Cluster) {
 	c.volume = o.volume
 }
 
-// Recompute rebuilds all aggregates from the matrix. Incremental
-// updates accumulate floating-point drift over very long runs; the
-// FLOC engine calls Recompute at iteration boundaries so that reported
-// residues are exact.
+// Recompute rebuilds all guarded aggregates from the matrix
+// (deltavet:writer). Incremental updates accumulate floating-point
+// drift over very long runs; the FLOC engine calls Recompute at
+// iteration boundaries so that reported residues are exact.
 func (c *Cluster) Recompute() {
 	for _, i := range c.memberRows {
 		c.rowSum[i] = 0

@@ -9,6 +9,11 @@
 // The package also aggregates discovered-cluster statistics (residue,
 // volume, diameter) for Table 1–style reporting and provides a
 // per-cluster best-match analysis as an extension.
+//
+// This package is marked deltavet:deterministic — reported metrics
+// must be byte-identical across same-seed runs, so cmd/deltavet
+// forbids unordered map iteration, direct math/rand use and raw
+// float equality here.
 package eval
 
 import (
@@ -38,6 +43,22 @@ func EntrySet(m *matrix.Matrix, specs []cluster.Spec) map[Entry]struct{} {
 	return set
 }
 
+// SortedEntries returns the set's entries ordered by row, then
+// column — the deterministic iteration order for entry sets.
+func SortedEntries(set map[Entry]struct{}) []Entry {
+	out := make([]Entry, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Row != out[b].Row {
+			return out[a].Row < out[b].Row
+		}
+		return out[a].Col < out[b].Col
+	})
+	return out
+}
+
 // RecallPrecision computes the paper's quality metrics for discovered
 // clusters against embedded ground truth. An empty ground truth yields
 // NaN recall; an empty discovery yields NaN precision.
@@ -45,12 +66,12 @@ func RecallPrecision(m *matrix.Matrix, embedded, discovered []cluster.Spec) (rec
 	u := EntrySet(m, embedded)
 	v := EntrySet(m, discovered)
 	inter := 0
-	// Iterate over the smaller set.
+	// Iterate over the smaller set, in sorted order.
 	small, large := u, v
 	if len(v) < len(u) {
 		small, large = v, u
 	}
-	for e := range small {
+	for _, e := range SortedEntries(small) {
 		if _, ok := large[e]; ok {
 			inter++
 		}
@@ -127,10 +148,11 @@ func BestMatches(m *matrix.Matrix, embedded, discovered []cluster.Spec) []Match 
 	out := make([]Match, len(embedded))
 	for e, emb := range embedded {
 		embSet := EntrySet(m, []cluster.Spec{emb})
+		embEntries := SortedEntries(embSet)
 		best := Match{EmbeddedIdx: e, DiscoveredIdx: -1}
 		for d, ds := range discSets {
 			inter := 0
-			for en := range embSet {
+			for _, en := range embEntries {
 				if _, ok := ds[en]; ok {
 					inter++
 				}

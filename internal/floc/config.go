@@ -21,12 +21,17 @@
 // occupancy threshold α for matrices with missing values — are
 // enforced by "blocking": an action whose outcome would violate a
 // constraint is assigned gain −∞ and never performed.
+//
+// This package is marked deltavet:deterministic — equal seeds must
+// yield bit-identical runs, so cmd/deltavet forbids unordered map
+// iteration, direct math/rand use and raw float equality here.
 package floc
 
 import (
 	"fmt"
 
 	"deltacluster/internal/cluster"
+	"deltacluster/internal/stats"
 )
 
 // Order selects how the M+N actions of an iteration are sequenced
@@ -321,7 +326,7 @@ func (cfg *Config) validate(rows, cols int) error {
 	if rows == 0 || cols == 0 {
 		return fmt.Errorf("floc: matrix is %dx%d; need at least one row and column", rows, cols)
 	}
-	if cfg.SeedProbability == 0 && cfg.SeedRowProbability == 0 && len(cfg.SeedProbabilities) == 0 {
+	if stats.IsZero(cfg.SeedProbability) && stats.IsZero(cfg.SeedRowProbability) && len(cfg.SeedProbabilities) == 0 {
 		cfg.SeedProbability = 0.1
 	}
 	if cfg.SeedProbability < 0 || cfg.SeedProbability > 1 {

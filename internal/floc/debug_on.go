@@ -1,0 +1,87 @@
+//go:build deltadebug
+
+package floc
+
+import (
+	"fmt"
+	"math"
+
+	"deltacluster/internal/stats"
+)
+
+// debugInvariants gates the from-scratch invariant assertions. Build
+// with -tags deltadebug to enable them; the release build compiles
+// the checks away entirely (see debug_off.go).
+const debugInvariants = true
+
+// assertTol is the relative tolerance for comparing incrementally
+// maintained float caches against from-scratch recomputation. The
+// engine's own improvement threshold is 1e-10; drift beyond 1e-6 of
+// scale means bookkeeping is wrong, not merely jittery.
+const assertTol = 1e-6
+
+// assertInvariants recomputes every cluster's aggregates, residue and
+// cost from the raw matrix and panics if any cached value diverges —
+// the dynamic twin of cmd/deltavet's residueinvariant pass. context
+// names the call site in the panic message. It runs after every
+// applied action under the deltadebug tag, so a write path that
+// desynchronizes the caches fails loudly at the exact action that
+// broke them instead of surfacing as slightly-wrong residues much
+// later.
+func (e *engine) assertInvariants(context string) {
+	die := func(format string, args ...any) {
+		panic(fmt.Sprintf("floc: deltadebug invariant violated after %s: %s",
+			context, fmt.Sprintf(format, args...)))
+	}
+	within := func(got, want float64) bool {
+		return stats.EqualWithin(got, want, assertTol*(1+math.Abs(want)))
+	}
+
+	var resSum, costSum float64
+	coverRow := make([]int, len(e.coverRow))
+	coverCol := make([]int, len(e.coverCol))
+	for c, cl := range e.clusters {
+		fresh := cl.Clone()
+		fresh.Recompute()
+		if cl.Volume() != fresh.Volume() {
+			die("cluster %d cached volume %d, recomputed %d", c, cl.Volume(), fresh.Volume())
+		}
+		cachedRes := cl.ResidueWith(e.cfg.ResidueMean)
+		trueRes := fresh.ResidueWith(e.cfg.ResidueMean)
+		if !within(cachedRes, trueRes) {
+			die("cluster %d aggregate drift: residue from cached sums %v, from scratch %v",
+				c, cachedRes, trueRes)
+		}
+		if !within(e.residues[c], trueRes) {
+			die("cluster %d engine residue cache %v, recomputed %v", c, e.residues[c], trueRes)
+		}
+		trueCost := e.cost(trueRes, fresh.Volume(), fresh.NumRows(), fresh.NumCols())
+		if !within(e.costs[c], trueCost) {
+			die("cluster %d engine cost cache %v, recomputed %v", c, e.costs[c], trueCost)
+		}
+		resSum += e.residues[c]
+		costSum += e.costs[c]
+		for _, i := range cl.Rows() {
+			coverRow[i]++
+		}
+		for _, j := range cl.Cols() {
+			coverCol[j]++
+		}
+	}
+	if !within(e.resSum, resSum) {
+		die("residue sum cache %v, sum of residues %v", e.resSum, resSum)
+	}
+	if !within(e.costSum, costSum) {
+		die("cost sum cache %v, sum of costs %v", e.costSum, costSum)
+	}
+	for i := range coverRow {
+		if e.coverRow[i] != coverRow[i] {
+			die("row %d coverage cache %d, recomputed %d", i, e.coverRow[i], coverRow[i])
+		}
+	}
+	for j := range coverCol {
+		if e.coverCol[j] != coverCol[j] {
+			die("column %d coverage cache %d, recomputed %d", j, e.coverCol[j], coverCol[j])
+		}
+	}
+}

@@ -43,18 +43,24 @@ type Result struct {
 }
 
 // engine carries the mutable state of one FLOC run.
+//
+// The residue/cost caches below are guarded: they must stay exactly
+// consistent with the clusters after every toggle, so only functions
+// marked deltavet:writer may assign them (enforced by cmd/deltavet's
+// residueinvariant pass, and dynamically by the deltadebug build
+// tag's assertions).
 type engine struct {
 	m        *matrix.Matrix
 	cfg      *Config
 	rng      *stats.RNG
 	clusters []*cluster.Cluster
-	residues []float64 // residue of each cluster, kept in sync
-	resSum   float64   // sum of residues (avg = resSum / k)
-	costs    []float64 // objective cost of each cluster (see cost)
-	costSum  float64
-	w        float64 // number of specified matrix entries (penalty scale)
-	coverRow []int   // number of clusters containing each row
-	coverCol []int
+	residues []float64 // residue of each cluster, kept in sync // deltavet:guard
+	resSum   float64   // sum of residues (avg = resSum / k) // deltavet:guard
+	costs    []float64 // objective cost of each cluster (see cost) // deltavet:guard
+	costSum  float64   // sum of costs, kept in sync // deltavet:guard
+	w        float64   // number of specified matrix entries (penalty scale)
+	coverRow []int     // number of clusters containing each row // deltavet:guard
+	coverCol []int     // number of clusters containing each column // deltavet:guard
 
 	gainEvals int64
 	actions   int64
@@ -111,6 +117,9 @@ type appliedAction struct {
 // Run executes FLOC on m with the given configuration and returns the
 // best clustering found. The configuration is validated and defaulted;
 // equal seeds yield identical results.
+//
+// Run initializes the engine's guarded residue/cost caches from the
+// seed clustering (deltavet:writer).
 func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 	if err := cfg.validate(m.Rows(), m.Cols()); err != nil {
 		return nil, err
@@ -164,6 +173,10 @@ func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 		}
 	}
 
+	if debugInvariants {
+		e.assertInvariants("seeding")
+	}
+
 	bestCost := e.costSum
 	trace := []float64{e.avgResidue()}
 	iterations := 0
@@ -211,6 +224,9 @@ func (e *engine) avgResidue() float64 { return e.resSum / float64(e.cfg.K) }
 // cost and whether the iteration improved on bestCost. On improvement
 // the engine state is left at the best intermediate clustering;
 // otherwise the state is left untouched.
+//
+// iterate rebuilds the guarded caches from scratch at the iteration
+// boundary to kill incremental drift (deltavet:writer).
 func (e *engine) iterate(bestCost float64) (float64, bool) {
 	// Decide the best action of every row and column against the
 	// iteration's starting state, then order them.
@@ -259,6 +275,9 @@ func (e *engine) iterate(bestCost float64) (float64, bool) {
 		e.resSum += e.residues[c]
 		e.costs[c] = e.cost(e.residues[c], cl.Volume(), cl.NumRows(), cl.NumCols())
 		e.costSum += e.costs[c]
+	}
+	if debugInvariants {
+		e.assertInvariants("iteration boundary")
 	}
 	return e.costSum, true
 }
@@ -323,7 +342,9 @@ func (e *engine) blockedNow(d decision) bool {
 }
 
 // apply performs a toggle, updating the residue cache and coverage
-// counts.
+// counts. It is the single incremental writer of the guarded caches
+// (deltavet:writer); everything else either reads them or rebuilds
+// them wholesale at checkpoints.
 func (e *engine) apply(isRow bool, idx, c int) {
 	cl := e.clusters[c]
 	if isRow {
@@ -350,6 +371,9 @@ func (e *engine) apply(isRow bool, idx, c int) {
 	e.costSum += newCost - e.costs[c]
 	e.costs[c] = newCost
 	e.actions++
+	if debugInvariants {
+		e.assertInvariants("apply")
+	}
 }
 
 // snapshot captures the engine's cluster state for rollback.
@@ -379,6 +403,8 @@ func (e *engine) checkpoint() *snapshot {
 	return s
 }
 
+// restore rewinds the guarded caches to a checkpoint
+// (deltavet:writer).
 func (e *engine) restore(s *snapshot) {
 	for c := range e.clusters {
 		e.clusters[c].CopyFrom(s.clusters[c])
@@ -389,4 +415,7 @@ func (e *engine) restore(s *snapshot) {
 	e.costSum = s.costSum
 	copy(e.coverRow, s.coverRow)
 	copy(e.coverCol, s.coverCol)
+	if debugInvariants {
+		e.assertInvariants("restore")
+	}
 }

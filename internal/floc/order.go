@@ -77,7 +77,11 @@ func weightedRandomOrder(ds []decision, rng *stats.RNG) {
 			i, j = j, i
 		}
 		var p float64
-		if gamma == 0 {
+		if gamma <= 0 {
+			// No finite-gain spread (all gains equal or all blocked):
+			// every pair swaps with probability ½. gamma is a
+			// max−min difference, so ≤ 0 is the complete "no spread"
+			// case without a raw float equality.
 			p = 0.5
 		} else {
 			p = 0.5 + (gainOf(ds[j])-gainOf(ds[i]))/(2*gamma)

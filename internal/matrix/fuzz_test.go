@@ -1,0 +1,69 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzParseMatrix hardens the delimited-matrix reader: arbitrary
+// input bytes and option combinations must either load cleanly or
+// fail with an error — never panic — and a successfully loaded
+// matrix must uphold the package invariants (finite specified
+// entries, label lengths matching the shape) and survive a write
+// round trip.
+func FuzzParseMatrix(f *testing.F) {
+	seeds := []struct {
+		data              string
+		comma             byte
+		missing           string
+		header, rowLabels bool
+	}{
+		{"1,2,3\n4,5,6\n", ',', "", false, false},
+		{"a,b,c\ng1,1,2\n", ',', "", true, true},
+		{"1\t2\n3\t4\n", '\t', "NA", false, false},
+		{"1,2\n3\n", ',', "", false, false},          // ragged
+		{"NaN,2\nInf,-Inf\n", ',', "", false, false}, // non-finite tokens
+		{"1e999,0\n", ',', "", false, false},         // overflow
+		{"NA,?\n1,2\n", ',', "?", false, false},      // missing tokens
+		{"\"1,2\n", ',', "", false, false},           // unterminated quote
+		{",,,\n,,,\n", ',', "", false, false},        // all missing
+		{"x,1\ny,2\n", ',', "", false, true},         // row labels
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s.data), s.comma, s.missing, s.header, s.rowLabels)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, comma byte, missing string, header, rowLabels bool) {
+		opts := IOOptions{
+			Comma:        rune(comma),
+			MissingToken: missing,
+			Header:       header,
+			RowLabels:    rowLabels,
+		}
+		m, err := Read(bytes.NewReader(data), opts)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		if m.RowLabels != nil && len(m.RowLabels) != m.Rows() {
+			t.Fatalf("RowLabels length %d != rows %d", len(m.RowLabels), m.Rows())
+		}
+		if m.ColLabels != nil && len(m.ColLabels) != m.Cols() {
+			t.Fatalf("ColLabels length %d != cols %d", len(m.ColLabels), m.Cols())
+		}
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if !m.IsSpecified(i, j) {
+					continue
+				}
+				if v := m.Get(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("entry (%d,%d) loaded non-finite value %v", i, j, v)
+				}
+			}
+		}
+		// A matrix that loaded must also write without error.
+		var buf bytes.Buffer
+		if err := Write(&buf, m, opts); err != nil {
+			t.Fatalf("round-trip write of a loaded matrix failed: %v", err)
+		}
+	})
+}

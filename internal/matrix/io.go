@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -32,7 +33,11 @@ func (o IOOptions) comma() rune {
 }
 
 // Read parses a delimited matrix from r. Cells that are empty or equal
-// opts.MissingToken load as missing entries.
+// opts.MissingToken load as missing entries. Cells parsing as NaN
+// ("NaN", "nan") also load as missing — NaN is this package's missing
+// marker, so the round trip is lossless — while infinite values are
+// rejected: residue arithmetic on ±Inf silently poisons every base
+// and gain downstream, so a matrix must be finite to load.
 func Read(r io.Reader, opts IOOptions) (*Matrix, error) {
 	cr := csv.NewReader(r)
 	cr.Comma = opts.comma()
@@ -87,6 +92,12 @@ func Read(r io.Reader, opts IOOptions) (*Matrix, error) {
 			v, err := strconv.ParseFloat(cell, 64)
 			if err != nil {
 				return nil, fmt.Errorf("matrix: record %d field %d: %w", i, j, err)
+			}
+			if math.IsInf(v, 0) {
+				return nil, fmt.Errorf("matrix: record %d field %d: non-finite value %q", i, j, cell)
+			}
+			if math.IsNaN(v) {
+				continue // NaN is the missing marker; stays missing
 			}
 			m.Set(i, j, v)
 		}

@@ -1,0 +1,47 @@
+package stats
+
+import "math"
+
+// This file holds the approved floating-point comparison helpers the
+// deltavet floatcmp analyzer points at: residues, gains and bases
+// computed along different code paths differ in the last ulp, so
+// deterministic packages must compare them through a tolerance
+// instead of raw ==/!=. The helpers themselves legitimately use raw
+// comparisons to define the semantics and are marked accordingly.
+
+// EqualWithin reports whether a and b differ by at most tol. NaN is
+// never equal to anything; equal infinities are equal regardless of
+// tol.
+//
+// deltavet:approx-helper
+func EqualWithin(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { // exact fast path; covers equal infinities
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// Close reports approximate equality under a mixed absolute/relative
+// tolerance of 1e-9·(1+max(|a|,|b|)) — the same scale-aware guard
+// the FLOC engine uses to ignore floating-point jitter when deciding
+// whether an iteration improved.
+//
+// deltavet:approx-helper
+func Close(a, b float64) bool {
+	scale := math.Abs(a)
+	if s := math.Abs(b); s > scale {
+		scale = s
+	}
+	return EqualWithin(a, b, 1e-9*(1+scale))
+}
+
+// IsZero reports whether x is exactly zero — the "field not set"
+// sentinel check for float configuration values. Unlike the
+// tolerance helpers this is an exact comparison by design: a
+// deliberately tiny configured value must not be mistaken for unset.
+//
+// deltavet:approx-helper
+func IsZero(x float64) bool { return x == 0 }

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqualWithin(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{-2, 2, 5, true},
+		{inf, inf, 0, true},   // exact fast path covers infinities
+		{inf, -inf, 0, false}, // Inf−(−Inf) = Inf > any tol
+		{inf, 1, 1e300, false},
+		{nan, nan, inf, false}, // NaN never equal, even with tol = +Inf
+		{nan, 1, 1, false},
+		{1, nan, 1, false},
+		{0, 0, 0, true},
+		{0, math.Copysign(0, -1), 0, true},
+	}
+	for _, c := range cases {
+		if got := EqualWithin(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqualWithin(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestClose(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{0, 1e-10, true},          // absolute part: below 1e-9·1
+		{0, 1e-8, false},          // above it
+		{1e12, 1e12 + 1, true},    // relative part: tolerance ≈ 1e-9·1e12 = 1e3
+		{1e12, 1e12 + 1e4, false}, // 1e4 exceeds it
+		{math.NaN(), math.NaN(), false},
+		{math.Inf(1), math.Inf(1), true},
+	}
+	for _, c := range cases {
+		if got := Close(c.a, c.b); got != c.want {
+			t.Errorf("Close(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Close(c.b, c.a); got != c.want {
+			t.Errorf("Close(%v, %v) = %v, want %v (asymmetric!)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(math.Copysign(0, -1)) {
+		t.Error("IsZero must accept both zero signs")
+	}
+	for _, x := range []float64{1e-300, -1e-300, 1, math.NaN(), math.Inf(1)} {
+		if IsZero(x) {
+			t.Errorf("IsZero(%v) = true, want false (exact sentinel check)", x)
+		}
+	}
+}
