@@ -5,6 +5,7 @@
 //	maporder         – no unordered map iteration in deterministic packages
 //	seededrand       – all randomness through the injected seeded RNG
 //	floatcmp         – no raw ==/!= between floats in deterministic packages
+//	ctxfirst         – context.Context first in signatures, never in struct fields
 //	residueinvariant – residue/base caches have a single approved writer set
 //
 // By default it also shells out to `go vet` first so one command
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"deltacluster/internal/analysis"
+	"deltacluster/internal/analysis/ctxfirst"
 	"deltacluster/internal/analysis/floatcmp"
 	"deltacluster/internal/analysis/maporder"
 	"deltacluster/internal/analysis/residueinvariant"
@@ -36,6 +38,7 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	seededrand.Analyzer,
 	floatcmp.Analyzer,
+	ctxfirst.Analyzer,
 	residueinvariant.Analyzer,
 }
 

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"deltacluster/internal/experiments"
 )
@@ -43,10 +46,21 @@ func main() {
 	}
 	all := want["all"]
 
+	// A full campaign at paper scale runs for a long time; SIGINT or
+	// SIGTERM stops cleanly between experiments, keeping every table
+	// already rendered.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ran := 0
 	for _, exp := range experiments.All() {
 		if !all && !want[exp.Name] {
 			continue
+		}
+		if ctx.Err() != nil {
+			stop()
+			fmt.Fprintf(os.Stderr, "experiments: interrupted; stopping before %s\n", exp.Name)
+			os.Exit(3)
 		}
 		ran++
 		tables, err := exp.Run(opts)

@@ -9,14 +9,31 @@
 // The input is CSV by default (-tsv for tab-separated); empty cells
 // and cells equal to -missing are missing entries. With -header the
 // first record holds column labels; with -rowlabels the first field
-// of each record is a row label.
+// of each record is a row label. With -quarantine, malformed records
+// are skipped (reported on stderr) instead of failing the load.
+//
+// # Interruption, checkpoints and resume
+//
+// A run interrupted by SIGINT or SIGTERM stops within one iteration,
+// prints the best-so-far clustering, flushes a final checkpoint to
+// the -checkpoint path (when given), and exits with status 3. With
+// -checkpoint the run also snapshots every -checkpoint-every
+// improving iterations; -resume continues from such a snapshot and —
+// same seed, same data — reproduces the uninterrupted run bit for
+// bit. -fingerprint prints a deterministic run fingerprint instead of
+// the human-readable report, so CI can diff a resumed run against a
+// full one.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	deltacluster "deltacluster"
 )
@@ -36,12 +53,30 @@ func main() {
 		missing   = flag.String("missing", "", "token marking missing entries (empty cells always count)")
 		all       = flag.Bool("all", false, "print all k clusters, not only the significant ones")
 		logT      = flag.Bool("log", false, "log-transform the matrix first (amplification → shifting coherence)")
+
+		quarantine  = flag.Bool("quarantine", false, "skip malformed input records instead of failing the load")
+		checkpoint  = flag.String("checkpoint", "", "write resumable checkpoints to this file")
+		ckEvery     = flag.Int("checkpoint-every", 1, "checkpoint every N improving iterations (with -checkpoint)")
+		resume      = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+		fingerprint = flag.Bool("fingerprint", false, "print a deterministic run fingerprint instead of the report")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 || *delta <= 0 {
 		fmt.Fprintln(os.Stderr, "usage: floc -k K -delta D [flags] matrix.csv")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *k < 1 {
+		usageError("-k must be at least 1 (got %d)", *k)
+	}
+	if *maxIter < 1 {
+		usageError("-maxiter must be at least 1 (got %d)", *maxIter)
+	}
+	if *alpha < 0 || *alpha > 1 {
+		usageError("-alpha must be within [0, 1] (got %g)", *alpha)
+	}
+	if *ckEvery < 1 {
+		usageError("-checkpoint-every must be a positive iteration count (got %d)", *ckEvery)
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -50,11 +85,21 @@ func main() {
 	}
 	defer func() { _ = f.Close() }() // read-only; nothing to recover from a close error
 
-	opts := deltacluster.IOOptions{Header: *header, RowLabels: *rowLabels, MissingToken: *missing}
+	opts := deltacluster.IOOptions{
+		Header: *header, RowLabels: *rowLabels, MissingToken: *missing,
+		Quarantine: *quarantine,
+	}
 	if *tsv {
 		opts.Comma = '\t'
 	}
-	m, err := deltacluster.ReadMatrix(f, opts)
+	m, qrep, err := deltacluster.ReadMatrixReport(f, opts)
+	if qrep != nil && len(qrep.Quarantined) > 0 {
+		fmt.Fprintf(os.Stderr, "floc: quarantined %d of %d input records:\n",
+			len(qrep.Quarantined), qrep.Total)
+		for _, q := range qrep.Quarantined {
+			fmt.Fprintf(os.Stderr, "  record %d: %s\n", q.Record, q.Reason)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -89,19 +134,69 @@ func main() {
 		fatal(fmt.Errorf("unknown seeding %q", *seedMode))
 	}
 
-	res, err := deltacluster.FLOC(m, cfg)
+	var runOpts deltacluster.FLOCRunOptions
+	if *resume != "" {
+		ck, err := deltacluster.ReadCheckpointFile(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		runOpts.Resume = ck
+		fmt.Fprintf(os.Stderr, "floc: resuming from %s at iteration %d\n", *resume, ck.Iterations)
+	}
+	if *checkpoint != "" {
+		runOpts.CheckpointEvery = *ckEvery
+		runOpts.OnCheckpoint = func(ck *deltacluster.FLOCCheckpoint) error {
+			return deltacluster.WriteCheckpointFile(*checkpoint, ck)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the run's context; the engine stops within
+	// one iteration and returns its best-so-far clustering as a
+	// *FLOCPartialResult. A second signal kills the process outright
+	// (stop() below restores default handling before the slow prints).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := deltacluster.FLOCWithOptions(ctx, m, cfg, runOpts)
 	if err != nil {
-		fatal(err)
+		var pr *deltacluster.FLOCPartialResult
+		if !errors.As(err, &pr) {
+			fatal(err)
+		}
+		stop()
+		fmt.Fprintf(os.Stderr, "floc: run stopped (%s) after %d iterations\n",
+			pr.Reason, pr.Result.Iterations)
+		if *checkpoint != "" && pr.Checkpoint != nil {
+			if werr := deltacluster.WriteCheckpointFile(*checkpoint, pr.Checkpoint); werr != nil {
+				fmt.Fprintf(os.Stderr, "floc: writing final checkpoint: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "floc: checkpoint flushed to %s (resume with -resume %s)\n",
+					*checkpoint, *checkpoint)
+			}
+		}
+		report(m, pr.Result, cfg, *all, *fingerprint)
+		os.Exit(3)
+	}
+	report(m, res, cfg, *all, *fingerprint)
+}
+
+// report prints either the human-readable cluster report or, with
+// fingerprint set, a deterministic byte-stable summary (no durations,
+// no volume sort) that two equivalent runs reproduce exactly.
+func report(m *deltacluster.Matrix, res *deltacluster.FLOCResult, cfg deltacluster.FLOCConfig, all, fingerprint bool) {
+	if fingerprint {
+		printFingerprint(res)
+		return
 	}
 	clusters := res.Clusters
-	if !*all {
+	if !all {
 		clusters = deltacluster.Significant(clusters, cfg.MaxResidue)
 	}
 	sort.Slice(clusters, func(a, b int) bool { return clusters[a].Volume() > clusters[b].Volume() })
 
 	fmt.Printf("matrix %dx%d (%.1f%% specified), k=%d, δ=%g, %d iterations, %v\n",
-		m.Rows(), m.Cols(), 100*m.FillFraction(), *k, *delta, res.Iterations, res.Duration.Round(1e6))
-	fmt.Printf("%d cluster(s)%s:\n\n", len(clusters), map[bool]string{true: "", false: " (significant)"}[*all])
+		m.Rows(), m.Cols(), 100*m.FillFraction(), cfg.K, cfg.MaxResidue, res.Iterations, res.Duration.Round(1e6))
+	fmt.Printf("%d cluster(s)%s:\n\n", len(clusters), map[bool]string{true: "", false: " (significant)"}[all])
 	for i, c := range clusters {
 		st := c.Stats()
 		fmt.Printf("cluster %d: %d rows x %d cols, volume %d, residue %.4g, diameter %.4g\n",
@@ -109,6 +204,25 @@ func main() {
 		spec := c.Spec()
 		fmt.Printf("  rows: %s\n", labelList(spec.Rows, m.RowLabels))
 		fmt.Printf("  cols: %s\n", labelList(spec.Cols, m.ColLabels))
+	}
+}
+
+// printFingerprint emits every determinism-relevant quantity of the
+// run at full float precision. Two runs printing the same fingerprint
+// went through bit-identical optimization states.
+func printFingerprint(res *deltacluster.FLOCResult) {
+	fmt.Printf("avg_residue %.17g\n", res.AvgResidue)
+	fmt.Printf("iterations %d\n", res.Iterations)
+	fmt.Printf("actions %d\n", res.ActionsApplied)
+	fmt.Printf("gain_evals %d\n", res.GainEvaluations)
+	fmt.Printf("trace")
+	for _, v := range res.ResidueTrace {
+		fmt.Printf(" %.17g", v)
+	}
+	fmt.Println()
+	for i, c := range res.Clusters {
+		spec := c.Spec()
+		fmt.Printf("cluster %d rows %v cols %v residue %.17g\n", i, spec.Rows, spec.Cols, c.Residue())
 	}
 }
 
@@ -125,6 +239,11 @@ func labelList(idx []int, labels []string) string {
 		}
 	}
 	return out
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "floc: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func fatal(err error) {

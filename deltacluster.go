@@ -41,6 +41,7 @@
 package deltacluster
 
 import (
+	"context"
 	"io"
 
 	"deltacluster/internal/bicluster"
@@ -49,6 +50,7 @@ import (
 	"deltacluster/internal/eval"
 	"deltacluster/internal/floc"
 	"deltacluster/internal/matrix"
+	"deltacluster/internal/resilience"
 	"deltacluster/internal/stats"
 	"deltacluster/internal/synth"
 )
@@ -69,6 +71,20 @@ func MatrixFromRows(rows [][]float64) (*Matrix, error) { return matrix.NewFromRo
 
 // ReadMatrix parses a delimited matrix (CSV by default).
 func ReadMatrix(r io.Reader, opts IOOptions) (*Matrix, error) { return matrix.Read(r, opts) }
+
+// QuarantineReport is the audit trail of a lenient (IOOptions.
+// Quarantine) matrix load: how many records were seen and which were
+// dropped, with reasons.
+type QuarantineReport = matrix.QuarantineReport
+
+// QuarantinedRecord describes one record dropped by lenient ingestion.
+type QuarantinedRecord = matrix.QuarantinedRecord
+
+// ReadMatrixReport is ReadMatrix returning the quarantine audit trail
+// alongside the matrix.
+func ReadMatrixReport(r io.Reader, opts IOOptions) (*Matrix, *QuarantineReport, error) {
+	return matrix.ReadReport(r, opts)
+}
 
 // WriteMatrix renders a matrix as delimited text.
 func WriteMatrix(w io.Writer, m *Matrix, opts IOOptions) error { return matrix.Write(w, m, opts) }
@@ -177,6 +193,74 @@ func Significant(clusters []*Cluster, maxResidue float64) []*Cluster {
 	return floc.Significant(clusters, maxResidue)
 }
 
+// FLOCPartialResult is the typed error a cancelled or deadlined FLOC
+// run returns: the best-so-far clustering, the stop reason, and (when
+// the run was interrupted at an iteration boundary) a resumable
+// checkpoint. Recover it with errors.As.
+type FLOCPartialResult = floc.PartialResult
+
+// StopReason says why an interrupted run stopped.
+type StopReason = floc.StopReason
+
+// Stop reasons.
+const (
+	StopCancelled = floc.StopCancelled
+	StopDeadline  = floc.StopDeadline
+)
+
+// FLOCCheckpoint is a resumable snapshot of a FLOC run at an
+// iteration boundary. Same seed + resume reproduces the uninterrupted
+// run bit for bit.
+type FLOCCheckpoint = floc.Checkpoint
+
+// FLOCRunOptions controls checkpointing and resumption of a FLOC run.
+type FLOCRunOptions = floc.RunOptions
+
+// FLOCContext runs FLOC under a context: cancellation or deadline
+// expiry stops the run within one iteration, returning a
+// *FLOCPartialResult error carrying the best-so-far clustering.
+func FLOCContext(ctx context.Context, m *Matrix, cfg FLOCConfig) (*FLOCResult, error) {
+	return floc.RunContext(ctx, m, cfg)
+}
+
+// FLOCWithOptions is FLOCContext with checkpoint/resume control.
+func FLOCWithOptions(ctx context.Context, m *Matrix, cfg FLOCConfig, opts FLOCRunOptions) (*FLOCResult, error) {
+	return floc.RunWithOptions(ctx, m, cfg, opts)
+}
+
+// WriteCheckpointFile atomically writes a checkpoint to path
+// (temp file + fsync + rename) in the versioned, checksummed binary
+// format.
+func WriteCheckpointFile(path string, ck *FLOCCheckpoint) error {
+	return floc.WriteCheckpointFile(path, ck)
+}
+
+// ReadCheckpointFile reads and verifies a checkpoint written by
+// WriteCheckpointFile, rejecting torn or corrupted files.
+func ReadCheckpointFile(path string) (*FLOCCheckpoint, error) {
+	return floc.ReadCheckpointFile(path)
+}
+
+// SupervisePolicy parameterizes a fault-tolerant FLOC campaign: number
+// of restart attempts, per-attempt deadline, panic retries with seed
+// rotation and capped backoff.
+type SupervisePolicy = resilience.Policy
+
+// SuperviseReport is the outcome of a supervised campaign: the best
+// result, per-attempt reports, and whether the campaign degraded.
+type SuperviseReport = resilience.Report
+
+// SuperviseAttemptReport records how one supervised attempt went.
+type SuperviseAttemptReport = resilience.AttemptReport
+
+// SuperviseFLOC runs a supervised multi-seed FLOC campaign: attempt i
+// runs with seed cfg.Seed+i, panics are recovered and retried with
+// rotated seeds, and when the context's budget expires the best
+// completed attempt is returned instead of nothing.
+func SuperviseFLOC(ctx context.Context, m *Matrix, cfg FLOCConfig, policy SupervisePolicy) (*SuperviseReport, error) {
+	return resilience.SuperviseFLOC(ctx, m, cfg, policy)
+}
+
 // BiclusterConfig parameterizes the Cheng & Church baseline.
 type BiclusterConfig = bicluster.Config
 
@@ -187,6 +271,13 @@ type BiclusterResult = bicluster.Result
 // (reference [3] of the paper) on m.
 func ChengChurch(m *Matrix, cfg BiclusterConfig) (*BiclusterResult, error) {
 	return bicluster.Run(m, cfg)
+}
+
+// ChengChurchContext is ChengChurch under a context: cancellation
+// between sequential mines returns a *bicluster.PartialResult error
+// carrying the biclusters completed so far.
+func ChengChurchContext(ctx context.Context, m *Matrix, cfg BiclusterConfig) (*BiclusterResult, error) {
+	return bicluster.RunContext(ctx, m, cfg)
 }
 
 // CLIQUEConfig parameterizes the CLIQUE subspace clustering algorithm.
@@ -201,6 +292,13 @@ type SubspaceCluster = clique.SubspaceCluster
 // CLIQUE runs grid/density subspace clustering (reference [1] of the
 // paper) on the rows of m.
 func CLIQUE(m *Matrix, cfg CLIQUEConfig) (*CLIQUEResult, error) { return clique.Run(m, cfg) }
+
+// CLIQUEContext is CLIQUE under a context: cancellation between
+// lattice levels returns a *clique.PartialResult error carrying the
+// dense units mined so far.
+func CLIQUEContext(ctx context.Context, m *Matrix, cfg CLIQUEConfig) (*CLIQUEResult, error) {
+	return clique.RunContext(ctx, m, cfg)
+}
 
 // AlternativeConfig parameterizes the Section 4.4 alternative
 // δ-cluster algorithm.

@@ -1,0 +1,119 @@
+// Package ctxfirst enforces the context-plumbing discipline in
+// packages marked deltavet:deterministic. Cancellation support
+// (floc.RunContext and friends) threads a context.Context through the
+// engines; the two ways that plumbing rots are a context parameter
+// drifting out of first position (callers then pass it
+// inconsistently, and wrappers stop composing) and a context stored
+// in a struct field (the stored context outlives the call it scoped,
+// so cancellation checks consult a stale context — exactly the bug
+// the return-within-one-iteration guarantee forbids).
+//
+// The analyzer therefore reports, in marked packages only:
+//
+//   - any function, method, function literal or interface method whose
+//     signature takes a context.Context anywhere but the first
+//     parameter, and
+//   - any struct field of type context.Context.
+//
+// Suppress a finding with `deltavet:ignore ctxfirst -- <reason>`.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the ctxfirst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "flags context.Context parameters that are not first and context.Context " +
+		"struct fields in deltavet:deterministic packages",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PackageMarked(pass.Files, analysis.DeterministicMarker) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncType:
+				// Covers FuncDecl signatures, function literals,
+				// interface methods and named function types alike.
+				checkParams(pass, t)
+			case *ast.StructType:
+				checkFields(pass, t)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkParams reports every context.Context parameter that is not the
+// first parameter of the signature. Parameter groups are flattened, so
+// `a int, b, c context.Context` reports b and c individually.
+func checkParams(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	flat := 0
+	for _, field := range ft.Params.List {
+		isCtx := isContext(pass, field.Type)
+		// An unnamed parameter group still occupies one position.
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		for i := 0; i < names; i++ {
+			if isCtx && flat > 0 {
+				pos := field.Type.Pos()
+				label := ""
+				if len(field.Names) > 0 {
+					pos = field.Names[i].Pos()
+					label = " " + field.Names[i].Name
+				}
+				pass.Reportf(pos,
+					"context.Context parameter%s at position %d; context must be the first parameter",
+					label, flat+1)
+			}
+			flat++
+		}
+	}
+}
+
+// checkFields reports struct fields of type context.Context.
+func checkFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if !isContext(pass, field.Type) {
+			continue
+		}
+		label := "embedded"
+		pos := field.Type.Pos()
+		if len(field.Names) > 0 {
+			label = field.Names[0].Name
+			pos = field.Names[0].Pos()
+		}
+		pass.Reportf(pos,
+			"context.Context stored in struct field %s; pass the context as a parameter instead",
+			label)
+	}
+}
+
+// isContext reports whether the expression's type is context.Context.
+func isContext(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,59 @@
+// Package a exercises the ctxfirst analyzer. The package opts into
+// the determinism suite: deltavet:deterministic.
+package a
+
+import "context"
+
+type engine struct {
+	k   int
+	ctx context.Context // want `context.Context stored in struct field ctx`
+}
+
+type embedsCtx struct {
+	context.Context // want `context.Context stored in struct field embedded`
+}
+
+type cleanState struct {
+	cancel context.CancelFunc // CancelFunc is fine; only the context itself is flagged
+}
+
+func good(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+func onlyCtx(ctx context.Context) { _ = ctx }
+
+func noCtx(x int) int { return x }
+
+func bad(x int, ctx context.Context) { // want `context.Context parameter ctx at position 2`
+	_ = ctx
+	_ = x
+}
+
+func (e *engine) badMethod(x int, ctx context.Context) { // want `context.Context parameter ctx at position 2`
+	_ = ctx
+	_ = x
+}
+
+func grouped(a int, b, c context.Context) { // want `parameter b at position 2` `parameter c at position 3`
+	_, _, _ = a, b, c
+}
+
+type miner interface {
+	Mine(level int, ctx context.Context) error // want `context.Context parameter ctx at position 2`
+}
+
+var lit = func(x int, ctx context.Context) { // want `context.Context parameter ctx at position 2`
+	_ = ctx
+	_ = x
+}
+
+type badFuncType func(int, context.Context) // want `context.Context parameter at position 2`
+
+func suppressed(x int,
+	//deltavet:ignore ctxfirst -- adapter matches an external callback signature
+	ctx context.Context) {
+	_ = ctx
+	_ = x
+}

@@ -1,0 +1,14 @@
+// Package untagged is not marked deterministic, so ctxfirst must stay
+// silent even over clearly non-conforming signatures.
+package untagged
+
+import "context"
+
+type holder struct {
+	ctx context.Context // no marker: clean
+}
+
+func trailing(x int, ctx context.Context) { // no marker: clean
+	_ = ctx
+	_ = x
+}

@@ -30,6 +30,7 @@
 package bicluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -100,6 +101,15 @@ type Result struct {
 // Run mines cfg.K biclusters from m. The input matrix is not
 // modified; masking happens on an internal copy.
 func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), m, cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked before
+// each of the K sequential mines, and a cancelled or expired context
+// stops the run with a *PartialResult error carrying the biclusters
+// mined so far (each of which is complete and final — later mines
+// never revise earlier ones).
+func RunContext(ctx context.Context, m *matrix.Matrix, cfg Config) (*Result, error) {
 	cfg.setDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -114,6 +124,10 @@ func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 
 	res := &Result{}
 	for k := 0; k < cfg.K; k++ {
+		if err := ctx.Err(); err != nil {
+			res.Duration = time.Since(start)
+			return nil, newPartialResult(res, err)
+		}
 		spec := mineOne(work, &cfg)
 		if len(spec.Rows) == 0 || len(spec.Cols) == 0 {
 			break

@@ -1,0 +1,130 @@
+package bicluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stats"
+)
+
+func contextTestMatrix(t *testing.T) *matrix.Matrix {
+	t.Helper()
+	rng := stats.NewRNG(5)
+	rows := make([][]float64, 30)
+	for i := range rows {
+		rows[i] = make([]float64, 12)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uniform(0, 10)
+		}
+	}
+	// Plant a coherent 10x6 block.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 6; j++ {
+			rows[i][j] = float64(i + j)
+		}
+	}
+	m, err := matrix.NewFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	m := contextTestMatrix(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res, err := RunContext(ctx, m, Config{K: 3, Delta: 2, Seed: 1})
+	if res != nil {
+		t.Fatal("cancelled run returned a non-nil *Result")
+	}
+	var pr *PartialResult
+	if !errors.As(err, &pr) {
+		t.Fatalf("error %T is not a *PartialResult", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if pr.Reason != StopCancelled {
+		t.Fatalf("Reason = %v, want %v", pr.Reason, StopCancelled)
+	}
+	if pr.Result == nil || len(pr.Result.Biclusters) != 0 {
+		t.Fatalf("partial result %+v, want an empty (but non-nil) result before the first mine", pr.Result)
+	}
+	if !strings.Contains(pr.Error(), "cancelled") {
+		t.Fatalf("Error() = %q, want the stop reason mentioned", pr.Error())
+	}
+}
+
+// Cancelling after the first mine must surface exactly the completed
+// biclusters: the sequential mining structure makes each one final.
+func TestRunContextCancelMidSequence(t *testing.T) {
+	m := contextTestMatrix(t)
+	cfg := Config{K: 3, Delta: 2, Seed: 1}
+	full, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Biclusters) < 2 {
+		t.Fatalf("workload yields %d biclusters; too few to interrupt between mines", len(full.Biclusters))
+	}
+
+	// A context that expires during the run: cancel from a goroutine
+	// would race with the mine, so instead use a context wrapper that
+	// reports cancelled after the first Err() call — deterministic and
+	// single-threaded.
+	ctx := &countdownContext{Context: context.Background(), allow: 1}
+	res, err := RunContext(ctx, m, cfg)
+	if res != nil {
+		t.Fatal("cancelled run returned a non-nil *Result")
+	}
+	var pr *PartialResult
+	if !errors.As(err, &pr) {
+		t.Fatalf("error %T is not a *PartialResult", err)
+	}
+	if got := len(pr.Result.Biclusters); got != 1 {
+		t.Fatalf("partial result carries %d biclusters, want exactly the 1 completed before cancellation", got)
+	}
+	// The completed bicluster must be identical to the full run's first.
+	a, b := full.Biclusters[0], pr.Result.Biclusters[0]
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		t.Fatalf("first bicluster differs: %dx%d vs %dx%d", a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+	}
+}
+
+// countdownContext reports Canceled after its first `allow` Err calls.
+type countdownContext struct {
+	context.Context
+	allow int
+}
+
+func (c *countdownContext) Err() error {
+	if c.allow > 0 {
+		c.allow--
+		return nil
+	}
+	return context.Canceled
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	m := contextTestMatrix(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	_, err := RunContext(ctx, m, Config{K: 2, Delta: 2, Seed: 1})
+	var pr *PartialResult
+	if !errors.As(err, &pr) {
+		t.Fatalf("error %T is not a *PartialResult", err)
+	}
+	if pr.Reason != StopDeadline {
+		t.Fatalf("Reason = %v, want %v", pr.Reason, StopDeadline)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(err, context.DeadlineExceeded) = false for %v", err)
+	}
+}

@@ -1,0 +1,59 @@
+package bicluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// StopReason says why a RunContext run stopped early.
+type StopReason int
+
+const (
+	// StopCancelled means the context was cancelled.
+	StopCancelled StopReason = iota + 1
+	// StopDeadline means the context's deadline expired.
+	StopDeadline
+)
+
+// String names the reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopCancelled:
+		return "cancelled"
+	case StopDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// PartialResult is the typed error RunContext returns on cancellation.
+// Cheng & Church mines biclusters one at a time, so every bicluster in
+// Result is complete and final; only the remaining K were lost.
+// Unwrap exposes the context error, so errors.Is(err,
+// context.Canceled) works through it.
+type PartialResult struct {
+	// Result holds the biclusters fully mined before the stop.
+	Result *Result
+	// Reason says whether cancellation or a deadline stopped the run.
+	Reason StopReason
+
+	cause error
+}
+
+// Error implements error.
+func (p *PartialResult) Error() string {
+	return fmt.Sprintf("bicluster: run stopped (%s) after %d biclusters", p.Reason, len(p.Result.Biclusters))
+}
+
+// Unwrap exposes the underlying context error.
+func (p *PartialResult) Unwrap() error { return p.cause }
+
+func newPartialResult(res *Result, cause error) *PartialResult {
+	reason := StopCancelled
+	if errors.Is(cause, context.DeadlineExceeded) {
+		reason = StopDeadline
+	}
+	return &PartialResult{Result: res, Reason: reason, cause: cause}
+}

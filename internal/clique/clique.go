@@ -28,6 +28,7 @@
 package clique
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -109,6 +110,15 @@ type unit struct {
 // dimension per column. Missing entries exclude a point from any unit
 // touching that dimension.
 func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), m, cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked between
+// lattice levels (the unit of work that blows up on hard inputs — see
+// Figure 10), and a cancelled or expired context stops the mine with a
+// *PartialResult error carrying the clusters of every level mined so
+// far.
+func RunContext(ctx context.Context, m *matrix.Matrix, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -191,6 +201,11 @@ func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 	allDense := map[int][]unit{1: unitsOf(level)}
 	dims := 1
 	for len(level) > 0 {
+		if err := ctx.Err(); err != nil {
+			res.Clusters = assembleClusters(allDense, dims, binOf)
+			res.Duration = time.Since(start)
+			return nil, newPartialResult(&res, dims, err)
+		}
 		if cfg.MaxDims > 0 && dims >= cfg.MaxDims {
 			break
 		}
@@ -207,28 +222,34 @@ func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 		res.DenseUnitsPerLevel = append(res.DenseUnitsPerLevel, len(level))
 	}
 
-	// Clusters: per subspace, connected components of dense units.
-	// Keep only maximal subspaces: a cluster in a subspace that is a
-	// strict subset of another cluster's subspace with the same or
-	// larger point set adds nothing; following the original paper we
-	// report components at every level but the callers of this
-	// package (the alternative algorithm, the benchmarks) use the
-	// highest-dimensional ones.
-	for lv := len(res.DenseUnitsPerLevel); lv >= 1; lv-- {
-		clustersAt := connectedComponents(allDense[lv])
-		for _, comp := range clustersAt {
+	res.Clusters = assembleClusters(allDense, len(res.DenseUnitsPerLevel), binOf)
+	res.Duration = time.Since(start)
+	return &res, nil
+}
+
+// assembleClusters extracts the subspace clusters of every mined
+// level: per subspace, connected components of dense units. Keep only
+// maximal subspaces: a cluster in a subspace that is a strict subset
+// of another cluster's subspace with the same or larger point set adds
+// nothing; following the original paper we report components at every
+// level but the callers of this package (the alternative algorithm,
+// the benchmarks) use the highest-dimensional ones. It also serves a
+// cancelled run, which assembles whatever levels completed.
+func assembleClusters(allDense map[int][]unit, levels int, binOf [][]int16) []SubspaceCluster {
+	var out []SubspaceCluster
+	for lv := levels; lv >= 1; lv-- {
+		for _, comp := range connectedComponents(allDense[lv]) {
 			pts := pointsOf(comp, binOf)
 			if len(pts) == 0 {
 				continue
 			}
-			res.Clusters = append(res.Clusters, SubspaceCluster{
+			out = append(out, SubspaceCluster{
 				Dims:   append([]int(nil), comp[0].dims...),
 				Points: pts,
 			})
 		}
 	}
-	res.Duration = time.Since(start)
-	return &res, nil
+	return out
 }
 
 func unitsOf(level map[unitKey]unit) []unit {

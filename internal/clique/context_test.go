@@ -1,0 +1,110 @@
+package clique
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"deltacluster/internal/matrix"
+)
+
+// contextTestMatrix builds a small matrix whose points cluster in two
+// dense bins per dimension, so CLIQUE mines several lattice levels.
+func contextTestMatrix(t *testing.T) *matrix.Matrix {
+	t.Helper()
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = make([]float64, 4)
+		for j := range rows[i] {
+			v := 1.0
+			if i%2 == 0 {
+				v = 9.0
+			}
+			rows[i][j] = v + float64(i%3)*0.1
+		}
+	}
+	m, err := matrix.NewFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	m := contextTestMatrix(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res, err := RunContext(ctx, m, Config{Xi: 10, Tau: 0.2})
+	if res != nil {
+		t.Fatal("cancelled mine returned a non-nil *Result")
+	}
+	var pr *PartialResult
+	if !errors.As(err, &pr) {
+		t.Fatalf("error %T is not a *PartialResult", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if pr.Reason != StopCancelled {
+		t.Fatalf("Reason = %v, want %v", pr.Reason, StopCancelled)
+	}
+	// Level 1 is mined before the loop's first context check, so the
+	// partial result carries its clusters.
+	if pr.LevelsMined != 1 {
+		t.Fatalf("LevelsMined = %d, want 1", pr.LevelsMined)
+	}
+	if pr.Result == nil || len(pr.Result.Clusters) == 0 {
+		t.Fatal("partial result carries no level-1 clusters")
+	}
+	if len(pr.Result.DenseUnitsPerLevel) != 1 {
+		t.Fatalf("DenseUnitsPerLevel = %v, want one entry", pr.Result.DenseUnitsPerLevel)
+	}
+	if !strings.Contains(pr.Error(), "cancelled") {
+		t.Fatalf("Error() = %q, want the stop reason mentioned", pr.Error())
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	m := contextTestMatrix(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	_, err := RunContext(ctx, m, Config{Xi: 10, Tau: 0.2})
+	var pr *PartialResult
+	if !errors.As(err, &pr) {
+		t.Fatalf("error %T is not a *PartialResult", err)
+	}
+	if pr.Reason != StopDeadline {
+		t.Fatalf("Reason = %v, want %v", pr.Reason, StopDeadline)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(err, context.DeadlineExceeded) = false for %v", err)
+	}
+}
+
+// Run must stay a thin wrapper: same clusters as an uncancelled
+// RunContext.
+func TestRunMatchesRunContext(t *testing.T) {
+	m := contextTestMatrix(t)
+	cfg := Config{Xi: 10, Tau: 0.2}
+	a, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatalf("Run found %d clusters, RunContext %d", len(a.Clusters), len(b.Clusters))
+	}
+	for i := range a.Clusters {
+		ca, cb := a.Clusters[i], b.Clusters[i]
+		if len(ca.Dims) != len(cb.Dims) || len(ca.Points) != len(cb.Points) {
+			t.Fatalf("cluster %d differs: %+v vs %+v", i, ca, cb)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package clique
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// StopReason says why a RunContext mine stopped early.
+type StopReason int
+
+const (
+	// StopCancelled means the context was cancelled.
+	StopCancelled StopReason = iota + 1
+	// StopDeadline means the context's deadline expired.
+	StopDeadline
+)
+
+// String names the reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopCancelled:
+		return "cancelled"
+	case StopDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// PartialResult is the typed error RunContext returns on cancellation:
+// the clusters of every lattice level that finished mining, with the
+// level count as the progress measure. Unwrap exposes the context
+// error, so errors.Is(err, context.Canceled) works through it.
+type PartialResult struct {
+	// Result holds the clusters assembled from the levels mined before
+	// the stop, and the dense-unit counts of those levels.
+	Result *Result
+	// LevelsMined is the deepest subspace dimensionality fully mined.
+	LevelsMined int
+	// Reason says whether cancellation or a deadline stopped the mine.
+	Reason StopReason
+
+	cause error
+}
+
+// Error implements error.
+func (p *PartialResult) Error() string {
+	return fmt.Sprintf("clique: mine stopped (%s) after %d lattice levels", p.Reason, p.LevelsMined)
+}
+
+// Unwrap exposes the underlying context error.
+func (p *PartialResult) Unwrap() error { return p.cause }
+
+func newPartialResult(res *Result, levels int, cause error) *PartialResult {
+	reason := StopCancelled
+	if errors.Is(cause, context.DeadlineExceeded) {
+		reason = StopDeadline
+	}
+	return &PartialResult{Result: res, LevelsMined: levels, Reason: reason, cause: cause}
+}

@@ -112,6 +112,41 @@ func FromSpec(m *matrix.Matrix, rows, cols []int) *Cluster {
 	return c
 }
 
+// FromOrdered returns a cluster over m whose internal member order is
+// exactly the given row and column sequences, with aggregates built by
+// a wholesale Recompute (deltavet:writer). It is the checkpoint-resume
+// counterpart of OrderedRows/OrderedCols: the engine's residue sums
+// accumulate in internal member order, so restoring a checkpoint must
+// reproduce that order — not merely the membership set — for a resumed
+// run to be bit-identical to an uninterrupted one. It returns an error
+// on out-of-range or duplicate indices (checkpoints cross a trust
+// boundary, unlike FromSpec's in-process callers).
+func FromOrdered(m *matrix.Matrix, rows, cols []int) (*Cluster, error) {
+	c := New(m)
+	for _, i := range rows {
+		if i < 0 || i >= m.Rows() {
+			return nil, fmt.Errorf("cluster: row index %d out of %d rows", i, m.Rows())
+		}
+		if c.rowPos[i] >= 0 {
+			return nil, fmt.Errorf("cluster: duplicate row index %d", i)
+		}
+		c.rowPos[i] = len(c.memberRows)
+		c.memberRows = append(c.memberRows, i)
+	}
+	for _, j := range cols {
+		if j < 0 || j >= m.Cols() {
+			return nil, fmt.Errorf("cluster: column index %d out of %d columns", j, m.Cols())
+		}
+		if c.colPos[j] >= 0 {
+			return nil, fmt.Errorf("cluster: duplicate column index %d", j)
+		}
+		c.colPos[j] = len(c.memberCols)
+		c.memberCols = append(c.memberCols, j)
+	}
+	c.Recompute()
+	return c, nil
+}
+
 // Matrix returns the underlying data matrix.
 func (c *Cluster) Matrix() *matrix.Matrix { return c.m }
 
@@ -143,6 +178,20 @@ func (c *Cluster) Cols() []int {
 	out := append([]int(nil), c.memberCols...)
 	sort.Ints(out)
 	return out
+}
+
+// OrderedRows returns a copy of the member row indices in internal
+// (insertion) order. Floating-point aggregates accumulate in this
+// order, so it — not the sorted view — is what a checkpoint must
+// capture to make a resumed run bit-identical (see FromOrdered).
+func (c *Cluster) OrderedRows() []int {
+	return append([]int(nil), c.memberRows...)
+}
+
+// OrderedCols returns a copy of the member column indices in internal
+// (insertion) order; see OrderedRows.
+func (c *Cluster) OrderedCols() []int {
+	return append([]int(nil), c.memberCols...)
 }
 
 // AddRow inserts matrix row i, folding its entries into the guarded

@@ -1,0 +1,15 @@
+//go:build !deltachaos
+
+package floc
+
+// chaosEnabled is false in release builds: every fault point compiles
+// to nothing. Build with -tags deltachaos to arm the named fault
+// points the chaos tests drive (see chaos_on.go).
+const chaosEnabled = false
+
+// chaos is a no-op without the deltachaos tag.
+func chaos(string) error { return nil }
+
+// chaosWriteFile never intercepts checkpoint writes without the
+// deltachaos tag.
+func chaosWriteFile(string, []byte) (bool, error) { return false, nil }

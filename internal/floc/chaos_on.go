@@ -1,0 +1,101 @@
+//go:build deltachaos
+
+package floc
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// chaosEnabled gates the fault points. Build with -tags deltachaos to
+// arm them; the release build compiles every fault point away (see
+// chaos_off.go).
+const chaosEnabled = true
+
+// The engine exposes three named fault points:
+//
+//   - "pre-apply": immediately before a membership toggle in the
+//     phase-2 hot path. A non-nil handler error panics the run there,
+//     simulating a crash mid-iteration (between checkpoints).
+//   - "post-iteration": after an improving iteration's boundary
+//     rebuild, before the periodic checkpoint is cut. A non-nil error
+//     panics, simulating a crash at the worst moment for durability —
+//     work done, checkpoint not yet written.
+//   - "checkpoint-write": inside WriteCheckpointFile. A handler may
+//     return any error to fail the write, or a *TornWrite to make the
+//     write land truncated and non-atomically, as a real crash between
+//     write(2) and rename(2) would leave it.
+var (
+	chaosMu       sync.Mutex
+	chaosHandlers = map[string]func() error{}
+)
+
+// ChaosSet installs handler at the named fault point, replacing any
+// previous handler. The handler runs on the goroutine that hits the
+// fault point; returning nil lets execution continue.
+func ChaosSet(name string, handler func() error) {
+	chaosMu.Lock()
+	defer chaosMu.Unlock()
+	chaosHandlers[name] = handler
+}
+
+// ChaosReset removes every installed fault handler. Chaos tests defer
+// it so faults cannot leak across tests.
+func ChaosReset() {
+	chaosMu.Lock()
+	defer chaosMu.Unlock()
+	chaosHandlers = map[string]func() error{}
+}
+
+// TornWrite, returned by a "checkpoint-write" fault handler, makes the
+// checkpoint land as a truncated prefix written directly to the final
+// path — no temp file, no rename — modeling a crash mid-write on a
+// filesystem without atomic rename in play.
+type TornWrite struct {
+	// Bytes is how many bytes of the encoding reach the disk. Values
+	// beyond the encoding length are clamped.
+	Bytes int
+}
+
+func (t *TornWrite) Error() string {
+	return fmt.Sprintf("deltachaos: torn write after %d bytes", t.Bytes)
+}
+
+// chaos fires the named fault point and returns the handler's error
+// (nil when no handler is installed).
+func chaos(name string) error {
+	chaosMu.Lock()
+	h := chaosHandlers[name]
+	chaosMu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h()
+}
+
+// chaosWriteFile gives the "checkpoint-write" fault point a chance to
+// hijack a checkpoint write. It reports whether the write was handled
+// (so the caller must not perform the real atomic write) and the error
+// the caller should surface.
+func chaosWriteFile(path string, data []byte) (bool, error) {
+	err := chaos("checkpoint-write")
+	if err == nil {
+		return false, nil
+	}
+	var torn *TornWrite
+	if errors.As(err, &torn) {
+		n := torn.Bytes
+		if n < 0 {
+			n = 0
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		if werr := os.WriteFile(path, data[:n], 0o644); werr != nil {
+			return true, werr
+		}
+	}
+	return true, err
+}

@@ -1,0 +1,144 @@
+//go:build deltachaos
+
+package floc
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChaosCrashThenResumeBitIdentical is the headline chaos drill: a
+// run checkpointing every iteration is crashed (injected panic at the
+// post-iteration fault point, before that iteration's checkpoint is
+// cut — the worst moment for durability), then resumed from the last
+// checkpoint that reached disk. The resumed run's fingerprint must be
+// bit-identical to the uninterrupted run's.
+func TestChaosCrashThenResumeBitIdentical(t *testing.T) {
+	defer ChaosReset()
+	m := resilienceTestMatrix(t)
+	cfg := resilienceTestConfig()
+	full, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Iterations < 2 {
+		t.Fatalf("workload converged in %d iterations; too easy to crash mid-run", full.Iterations)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	boom := errors.New("deltachaos: injected crash")
+	iters := 0
+	ChaosSet("post-iteration", func() error {
+		iters++
+		if iters == 2 {
+			return boom
+		}
+		return nil
+	})
+
+	crashed := func() (recovered any) {
+		defer func() { recovered = recover() }()
+		_, _ = RunWithOptions(context.Background(), m, cfg, RunOptions{
+			CheckpointEvery: 1,
+			OnCheckpoint: func(ck *Checkpoint) error {
+				return WriteCheckpointFile(path, ck)
+			},
+		})
+		return nil
+	}()
+	if crashed == nil {
+		t.Fatal("injected post-iteration fault did not crash the run")
+	}
+	if err, ok := crashed.(error); !ok || !errors.Is(err, boom) {
+		t.Fatalf("run panicked with %v, want the injected fault", crashed)
+	}
+	ChaosReset()
+
+	// The crash hit before iteration 2's checkpoint was cut, so the
+	// file must hold iteration 1.
+	ck, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Iterations != 1 {
+		t.Fatalf("surviving checkpoint is from iteration %d, want 1", ck.Iterations)
+	}
+	resumed, err := RunWithOptions(context.Background(), m, cfg, RunOptions{Resume: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprint(resumed), fingerprint(full); got != want {
+		t.Fatalf("crash-then-resume diverged from uninterrupted run:\n--- uninterrupted\n%s--- resumed\n%s", want, got)
+	}
+}
+
+// TestChaosTornWriteRejected forces a checkpoint write to land
+// truncated and non-atomically (as a crash between write and rename
+// would) and requires the reader to reject the torn file, then a
+// healthy rewrite to succeed over it.
+func TestChaosTornWriteRejected(t *testing.T) {
+	defer ChaosReset()
+	m := resilienceTestMatrix(t)
+	_, cks := captureCheckpoints(t, m, resilienceTestConfig())
+	ck := cks[len(cks)-1]
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	ChaosSet("checkpoint-write", func() error { return &TornWrite{Bytes: 24} })
+	err := WriteCheckpointFile(path, ck)
+	var torn *TornWrite
+	if !errors.As(err, &torn) {
+		t.Fatalf("torn write reported %v, want *TornWrite", err)
+	}
+	if _, err := ReadCheckpointFile(path); err == nil {
+		t.Fatal("reader accepted a torn checkpoint")
+	} else if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("torn checkpoint rejected with %q, want truncation or checksum mentioned", err)
+	}
+
+	ChaosReset()
+	if err := WriteCheckpointFile(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("healthy rewrite over torn file not readable: %v", err)
+	}
+	if got.Iterations != ck.Iterations {
+		t.Fatalf("rewritten checkpoint is from iteration %d, want %d", got.Iterations, ck.Iterations)
+	}
+}
+
+// TestChaosPreApplyFaultPanicsHotPath proves the pre-apply fault point
+// sits on the phase-2 hot path: an injected fault must surface as a
+// panic carrying the injected error mid-iteration.
+func TestChaosPreApplyFaultPanicsHotPath(t *testing.T) {
+	defer ChaosReset()
+	m := resilienceTestMatrix(t)
+	boom := errors.New("deltachaos: injected apply fault")
+	applies := 0
+	ChaosSet("pre-apply", func() error {
+		applies++
+		if applies == 25 {
+			return boom
+		}
+		return nil
+	})
+
+	recovered := func() (r any) {
+		defer func() { r = recover() }()
+		_, _ = Run(m, resilienceTestConfig())
+		return nil
+	}()
+	if recovered == nil {
+		t.Fatal("injected pre-apply fault did not crash the run")
+	}
+	if err, ok := recovered.(error); !ok || !errors.Is(err, boom) {
+		t.Fatalf("run panicked with %v, want the injected fault", recovered)
+	}
+	if applies != 25 {
+		t.Fatalf("fault fired after %d applies, want exactly 25", applies)
+	}
+}

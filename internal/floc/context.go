@@ -1,0 +1,190 @@
+package floc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"deltacluster/internal/matrix"
+)
+
+// StopReason says why a run stopped before convergence.
+type StopReason int
+
+const (
+	// StopNone means the run was not stopped early.
+	StopNone StopReason = iota
+	// StopCancelled means the context was cancelled.
+	StopCancelled
+	// StopDeadline means the context's deadline expired.
+	StopDeadline
+)
+
+// String names the reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopCancelled:
+		return "cancelled"
+	case StopDeadline:
+		return "deadline"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// PartialResult is the typed error a context-aware run returns when it
+// is cancelled or times out. It carries the best-so-far clustering at
+// the last completed iteration boundary, so a caller can degrade
+// gracefully — report the partial clustering, persist the checkpoint,
+// or hand the result to the resilience supervisor as a candidate.
+//
+// Unwrap returns the context's error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) work through it.
+type PartialResult struct {
+	// Result is the clustering at the last completed iteration
+	// boundary (the seed clustering when no iteration completed). The
+	// polish phase has NOT run on it: the state matches Checkpoint
+	// exactly, so resuming and finishing produces the same final
+	// clustering an uninterrupted run would.
+	Result *Result
+
+	// Checkpoint resumes the run from the last completed iteration
+	// boundary. It is nil when the run was stopped before the first
+	// improving iteration completed: seeding state is built
+	// incrementally and is not boundary-normalized, so checkpointing
+	// it could not guarantee a bit-identical resume.
+	Checkpoint *Checkpoint
+
+	// Reason says whether cancellation or a deadline stopped the run.
+	Reason StopReason
+
+	cause error
+}
+
+// Error implements error.
+func (p *PartialResult) Error() string {
+	return fmt.Sprintf("floc: run stopped (%s) after %d improving iterations", p.Reason, p.Result.Iterations)
+}
+
+// Unwrap exposes the underlying context error.
+func (p *PartialResult) Unwrap() error { return p.cause }
+
+// RunOptions extends RunContext with checkpointing.
+type RunOptions struct {
+	// Resume, when non-nil, restarts the run from a checkpoint instead
+	// of seeding. The matrix, seed and configuration (MaxIterations
+	// excepted) must match the checkpointed run's; the resumed run is
+	// then bit-identical to the uninterrupted one.
+	Resume *Checkpoint
+
+	// CheckpointEvery cuts a checkpoint after every n-th improving
+	// iteration and hands it to OnCheckpoint. 0 disables periodic
+	// checkpoints; negative is an error.
+	CheckpointEvery int
+
+	// OnCheckpoint receives each periodic checkpoint. A non-nil return
+	// aborts the run with that error. Ignored when CheckpointEvery is
+	// 0.
+	OnCheckpoint func(*Checkpoint) error
+}
+
+// Run executes FLOC on m with the given configuration and returns the
+// best clustering found. The configuration is validated and defaulted;
+// equal seeds yield identical results.
+func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), m, cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// phase-2 iteration boundary, and a cancelled or expired context stops
+// the run with a *PartialResult error carrying the best-so-far
+// clustering.
+func RunContext(ctx context.Context, m *matrix.Matrix, cfg Config) (*Result, error) {
+	return RunWithOptions(ctx, m, cfg, RunOptions{})
+}
+
+// RunWithOptions is RunContext plus durable checkpointing: the run can
+// start from a checkpoint and emit periodic checkpoints. Resuming a
+// checkpoint under the same seed and configuration is bit-identical to
+// the uninterrupted run.
+func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunOptions) (*Result, error) {
+	if err := cfg.validate(m.Rows(), m.Cols()); err != nil {
+		return nil, err
+	}
+	if opts.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("floc: CheckpointEvery = %d, want ≥ 0", opts.CheckpointEvery)
+	}
+	start := time.Now()
+
+	var (
+		e          *engine
+		iterations int
+		trace      []float64
+		atBoundary bool // a completed iteration boundary exists to checkpoint
+	)
+	if opts.Resume != nil {
+		var err error
+		e, err = resumeEngine(m, &cfg, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		iterations = opts.Resume.Iterations
+		trace = append([]float64(nil), opts.Resume.Trace...)
+		atBoundary = true
+	} else {
+		e = newEngine(m, &cfg)
+		trace = []float64{e.avgResidue()}
+	}
+
+	// Phase 2: iterative improvement.
+	bestCost := e.costSum
+	for iterations < cfg.MaxIterations {
+		if err := ctx.Err(); err != nil {
+			return nil, e.interrupted(err, iterations, trace, atBoundary, start)
+		}
+		improvedCost, improved := e.iterate(bestCost)
+		if !improved {
+			break
+		}
+		bestCost = improvedCost
+		trace = append(trace, e.avgResidue())
+		iterations++
+		atBoundary = true
+		if chaosEnabled {
+			if err := chaos("post-iteration"); err != nil {
+				panic(err)
+			}
+		}
+		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil && iterations%opts.CheckpointEvery == 0 {
+			if err := opts.OnCheckpoint(e.exportCheckpoint(iterations, trace)); err != nil {
+				return nil, fmt.Errorf("floc: checkpoint sink at iteration %d: %w", iterations, err)
+			}
+		}
+	}
+
+	e.finish()
+	return e.result(iterations, trace, start), nil
+}
+
+// interrupted packages the engine's boundary state as the typed
+// *PartialResult cancellation error.
+func (e *engine) interrupted(cause error, iterations int, trace []float64, atBoundary bool, start time.Time) *PartialResult {
+	reason := StopCancelled
+	if errors.Is(cause, context.DeadlineExceeded) {
+		reason = StopDeadline
+	}
+	var ck *Checkpoint
+	if atBoundary {
+		ck = e.exportCheckpoint(iterations, trace)
+	}
+	return &PartialResult{
+		Result:     e.result(iterations, append([]float64(nil), trace...), start),
+		Checkpoint: ck,
+		Reason:     reason,
+		cause:      cause,
+	}
+}

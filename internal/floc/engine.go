@@ -114,20 +114,13 @@ type appliedAction struct {
 	clusterIdx int
 }
 
-// Run executes FLOC on m with the given configuration and returns the
-// best clustering found. The configuration is validated and defaulted;
-// equal seeds yield identical results.
-//
-// Run initializes the engine's guarded residue/cost caches from the
-// seed clustering (deltavet:writer).
-func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
-	if err := cfg.validate(m.Rows(), m.Cols()); err != nil {
-		return nil, err
-	}
-	start := time.Now()
+// newEngine builds an engine over m with a validated cfg and performs
+// phase 1 (seeding), initializing the guarded residue/cost caches from
+// the seed clustering (deltavet:writer).
+func newEngine(m *matrix.Matrix, cfg *Config) *engine {
 	e := &engine{
 		m:        m,
-		cfg:      &cfg,
+		cfg:      cfg,
 		rng:      stats.NewRNG(cfg.Seed),
 		coverRow: make([]int, m.Rows()),
 		coverCol: make([]int, m.Cols()),
@@ -153,10 +146,10 @@ func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 		costOf := func(cl *cluster.Cluster) float64 {
 			return e.cost(cl.ResidueWith(cfg.ResidueMean), cl.Volume(), cl.NumRows(), cl.NumCols())
 		}
-		e.clusters = anchoredSeeds(m, &cfg, e.rng, costOf)
-		repairAll(e.clusters, m, &cfg, e.rng)
+		e.clusters = anchoredSeeds(m, cfg, e.rng, costOf)
+		repairAll(e.clusters, m, cfg, e.rng)
 	} else {
-		e.clusters = seedClusters(m, &cfg, e.rng)
+		e.clusters = seedClusters(m, cfg, e.rng)
 	}
 	e.residues = make([]float64, cfg.K)
 	e.costs = make([]float64, cfg.K)
@@ -176,36 +169,32 @@ func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 	if debugInvariants {
 		e.assertInvariants("seeding")
 	}
+	return e
+}
 
-	bestCost := e.costSum
-	trace := []float64{e.avgResidue()}
-	iterations := 0
-
-	// Phase 2: iterative improvement.
-	for iterations < cfg.MaxIterations {
-		improvedCost, improved := e.iterate(bestCost)
-		if !improved {
-			break
-		}
-		bestCost = improvedCost
-		trace = append(trace, e.avgResidue())
-		iterations++
+// finish runs the optional polish phase after phase 2 terminates,
+// re-pricing the guarded cost caches when PolishMaxResidue tightens δ
+// (deltavet:writer).
+func (e *engine) finish() {
+	cfg := e.cfg
+	if !cfg.Polish {
+		return
 	}
-
-	if cfg.Polish {
-		if cfg.PolishMaxResidue > 0 && cfg.GainPolicy == VolumeGain {
-			// Tighten δ for the cleanup and re-price every cluster
-			// under the new exchange rate before evaluating removals.
-			e.cfg.MaxResidue = cfg.PolishMaxResidue
-			e.costSum = 0
-			for c, cl := range e.clusters {
-				e.costs[c] = e.cost(e.residues[c], cl.Volume(), cl.NumRows(), cl.NumCols())
-				e.costSum += e.costs[c]
-			}
+	if cfg.PolishMaxResidue > 0 && cfg.GainPolicy == VolumeGain {
+		// Tighten δ for the cleanup and re-price every cluster
+		// under the new exchange rate before evaluating removals.
+		e.cfg.MaxResidue = cfg.PolishMaxResidue
+		e.costSum = 0
+		for c, cl := range e.clusters {
+			e.costs[c] = e.cost(e.residues[c], cl.Volume(), cl.NumRows(), cl.NumCols())
+			e.costSum += e.costs[c]
 		}
-		e.polish()
 	}
+	e.polish()
+}
 
+// result snapshots the engine's current clustering as a Result.
+func (e *engine) result(iterations int, trace []float64, start time.Time) *Result {
 	return &Result{
 		Clusters:        e.clusters,
 		AvgResidue:      e.avgResidue(),
@@ -214,7 +203,7 @@ func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 		GainEvaluations: e.gainEvals,
 		ResidueTrace:    trace,
 		Duration:        time.Since(start),
-	}, nil
+	}
 }
 
 func (e *engine) avgResidue() float64 { return e.resSum / float64(e.cfg.K) }
@@ -346,6 +335,11 @@ func (e *engine) blockedNow(d decision) bool {
 // (deltavet:writer); everything else either reads them or rebuilds
 // them wholesale at checkpoints.
 func (e *engine) apply(isRow bool, idx, c int) {
+	if chaosEnabled {
+		if err := chaos("pre-apply"); err != nil {
+			panic(err)
+		}
+	}
 	cl := e.clusters[c]
 	if isRow {
 		if cl.HasRow(idx) {

@@ -10,7 +10,8 @@ import (
 
 // IOOptions controls how matrices are read from and written to
 // delimited text. The zero value means comma-separated, empty cells
-// mark missing entries, and no header/label column.
+// mark missing entries, no header/label column, and strict parsing
+// (the first malformed record fails the load).
 type IOOptions struct {
 	// Comma is the field delimiter; 0 means ','. Use '\t' for TSV.
 	Comma rune
@@ -23,7 +24,43 @@ type IOOptions struct {
 	// RowLabels indicates the first field of every record is a row
 	// label rather than data.
 	RowLabels bool
+
+	// Quarantine switches to lenient ingestion: malformed records
+	// (CSV-level parse failures, wrong field counts, unparsable or
+	// non-finite cells) are skipped and reported in a QuarantineReport
+	// instead of failing the load. Dirty dumps are the normal case for
+	// the ratings and microarray data the paper targets; quarantine
+	// trades completeness for progress and keeps the audit trail. The
+	// load still fails when fewer than MinSurvivingFraction of the
+	// records survive. Strict mode (the default) is unaffected.
+	Quarantine bool
+	// MinSurvivingFraction is the minimum fraction of data records
+	// that must survive quarantine, in the spirit of the paper's
+	// occupancy threshold α: a matrix that lost too much of its input
+	// is not the data set the caller asked for. 0 means the default
+	// 0.5. Only meaningful with Quarantine.
+	MinSurvivingFraction float64
 }
+
+// QuarantinedRecord describes one record dropped by lenient ingestion.
+type QuarantinedRecord struct {
+	// Record is the 0-based data record number (header excluded),
+	// counting dropped records too — the line a fixer should look at.
+	Record int
+	// Reason says why the record was dropped.
+	Reason string
+}
+
+// QuarantineReport is the audit trail of a lenient load.
+type QuarantineReport struct {
+	// Total is the number of data records seen, kept and dropped.
+	Total int
+	// Quarantined lists the dropped records in input order.
+	Quarantined []QuarantinedRecord
+}
+
+// Survived returns how many records loaded.
+func (qr *QuarantineReport) Survived() int { return qr.Total - len(qr.Quarantined) }
 
 func (o IOOptions) comma() rune {
 	if o.Comma == 0 {
@@ -37,79 +74,206 @@ func (o IOOptions) comma() rune {
 // ("NaN", "nan") also load as missing — NaN is this package's missing
 // marker, so the round trip is lossless — while infinite values are
 // rejected: residue arithmetic on ±Inf silently poisons every base
-// and gain downstream, so a matrix must be finite to load.
+// and gain downstream, so a matrix must be finite to load. With
+// opts.Quarantine, malformed records are skipped instead (see
+// ReadReport for the audit trail).
 func Read(r io.Reader, opts IOOptions) (*Matrix, error) {
+	m, _, err := ReadReport(r, opts)
+	return m, err
+}
+
+// ReadReport is Read returning the quarantine audit trail alongside
+// the matrix. In strict mode the report is present but never carries
+// quarantined records (the first malformed record fails the load
+// instead).
+func ReadReport(r io.Reader, opts IOOptions) (*Matrix, *QuarantineReport, error) {
+	if opts.MinSurvivingFraction < 0 || opts.MinSurvivingFraction > 1 {
+		return nil, nil, fmt.Errorf("matrix: MinSurvivingFraction = %v, want in [0, 1]", opts.MinSurvivingFraction)
+	}
 	cr := csv.NewReader(r)
 	cr.Comma = opts.comma()
 	cr.FieldsPerRecord = -1 // validated manually for better messages
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("matrix: reading delimited input: %w", err)
+
+	// Raw read. In strict mode the first CSV-level error fails the
+	// load exactly as csv.ReadAll would; quarantine keeps reading.
+	type rawRecord struct {
+		fields []string
+		err    error
 	}
+	var raw []rawRecord
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !opts.Quarantine {
+				return nil, nil, fmt.Errorf("matrix: reading delimited input: %w", err)
+			}
+			raw = append(raw, rawRecord{err: err})
+			continue
+		}
+		raw = append(raw, rawRecord{fields: rec})
+	}
+
 	var colLabels []string
 	if opts.Header {
-		if len(records) == 0 {
-			return nil, fmt.Errorf("matrix: header requested but input is empty")
+		if len(raw) == 0 {
+			return nil, nil, fmt.Errorf("matrix: header requested but input is empty")
 		}
-		colLabels = records[0]
+		if raw[0].err != nil {
+			// A malformed header leaves every column's identity in
+			// doubt; quarantining it would silently relabel the data.
+			return nil, nil, fmt.Errorf("matrix: reading delimited input: %w", raw[0].err)
+		}
+		colLabels = raw[0].fields
 		if opts.RowLabels && len(colLabels) > 0 {
 			colLabels = colLabels[1:]
 		}
-		records = records[1:]
+		raw = raw[1:]
 	}
-	if len(records) == 0 {
+	report := &QuarantineReport{Total: len(raw)}
+	if len(raw) == 0 {
 		m := New(0, len(colLabels))
 		m.ColLabels = colLabels
-		return m, nil
+		return m, report, nil
 	}
 
-	width := len(records[0])
+	// Expected record width. Strict mode anchors on the first record
+	// (original behavior); quarantine votes — the most common width
+	// among well-formed records wins, first seen breaking ties — so
+	// one bad leading record cannot condemn the rest of the file.
+	width := -1
+	if !opts.Quarantine {
+		width = len(raw[0].fields)
+	} else {
+		counts := map[int]int{}
+		var order []int
+		for _, rr := range raw {
+			if rr.err != nil {
+				continue
+			}
+			if _, seen := counts[len(rr.fields)]; !seen {
+				order = append(order, len(rr.fields))
+			}
+			counts[len(rr.fields)]++
+		}
+		for _, w := range order {
+			if width < 0 || counts[w] > counts[width] {
+				width = w
+			}
+		}
+		if width < 0 {
+			return nil, nil, fmt.Errorf("matrix: quarantine left no parseable records of %d", report.Total)
+		}
+	}
 	dataCols := width
 	if opts.RowLabels {
 		dataCols--
 	}
 	if dataCols < 0 {
-		return nil, fmt.Errorf("matrix: record 0 has no data fields")
+		return nil, nil, fmt.Errorf("matrix: record 0 has no data fields")
 	}
-	m := New(len(records), dataCols)
+	if colLabels != nil && len(colLabels) != dataCols {
+		return nil, nil, fmt.Errorf("matrix: header has %d labels, want %d", len(colLabels), dataCols)
+	}
+
+	// Per-record parse. Strict fails on the first offense with the
+	// original messages; quarantine records the offense and drops the
+	// record.
+	var rows [][]float64
 	var rowLabels []string
-	if opts.RowLabels {
-		rowLabels = make([]string, len(records))
+	quarantine := func(i int, reason string) {
+		report.Quarantined = append(report.Quarantined, QuarantinedRecord{Record: i, Reason: reason})
 	}
-	for i, rec := range records {
-		if len(rec) != width {
-			return nil, fmt.Errorf("matrix: record %d has %d fields, want %d", i, len(rec), width)
+	for i, rr := range raw {
+		if rr.err != nil {
+			quarantine(i, rr.err.Error()) // strict mode never gets here
+			continue
 		}
+		rec := rr.fields
+		if len(rec) != width {
+			if !opts.Quarantine {
+				return nil, nil, fmt.Errorf("matrix: record %d has %d fields, want %d", i, len(rec), width)
+			}
+			quarantine(i, fmt.Sprintf("has %d fields, want %d", len(rec), width))
+			continue
+		}
+		label := ""
 		fields := rec
 		if opts.RowLabels {
-			rowLabels[i] = rec[0]
+			label = rec[0]
 			fields = rec[1:]
 		}
+		vals := make([]float64, dataCols)
+		for j := range vals {
+			vals[j] = math.NaN()
+		}
+		ok := true
 		for j, cell := range fields {
 			if cell == "" || (opts.MissingToken != "" && cell == opts.MissingToken) {
 				continue // stays missing
 			}
 			v, err := strconv.ParseFloat(cell, 64)
 			if err != nil {
-				return nil, fmt.Errorf("matrix: record %d field %d: %w", i, j, err)
+				if !opts.Quarantine {
+					return nil, nil, fmt.Errorf("matrix: record %d field %d: %w", i, j, err)
+				}
+				quarantine(i, fmt.Sprintf("field %d: %v", j, err))
+				ok = false
+				break
 			}
 			if math.IsInf(v, 0) {
-				return nil, fmt.Errorf("matrix: record %d field %d: non-finite value %q", i, j, cell)
+				if !opts.Quarantine {
+					return nil, nil, fmt.Errorf("matrix: record %d field %d: non-finite value %q", i, j, cell)
+				}
+				quarantine(i, fmt.Sprintf("field %d: non-finite value %q", j, cell))
+				ok = false
+				break
 			}
 			if math.IsNaN(v) {
 				continue // NaN is the missing marker; stays missing
 			}
-			m.Set(i, j, v)
+			vals[j] = v
+		}
+		if !ok {
+			continue
+		}
+		rows = append(rows, vals)
+		if opts.RowLabels {
+			rowLabels = append(rowLabels, label)
 		}
 	}
-	m.RowLabels = rowLabels
-	if colLabels != nil {
-		if len(colLabels) != dataCols {
-			return nil, fmt.Errorf("matrix: header has %d labels, want %d", len(colLabels), dataCols)
+
+	if opts.Quarantine {
+		frac := opts.MinSurvivingFraction
+		if frac == 0 {
+			frac = 0.5
 		}
-		m.ColLabels = colLabels
+		minRows := int(math.Ceil(frac * float64(report.Total)))
+		if minRows < 1 {
+			minRows = 1
+		}
+		if report.Survived() < minRows {
+			return nil, report, fmt.Errorf(
+				"matrix: quarantine dropped %d of %d records; %d survivors is below the required minimum %d (fraction %v)",
+				len(report.Quarantined), report.Total, report.Survived(), minRows, frac)
+		}
 	}
-	return m, nil
+
+	m := New(len(rows), dataCols)
+	for i, vals := range rows {
+		for j, v := range vals {
+			if !math.IsNaN(v) {
+				m.Set(i, j, v)
+			}
+		}
+	}
+	if opts.RowLabels {
+		m.RowLabels = rowLabels
+	}
+	m.ColLabels = colLabels
+	return m, report, nil
 }
 
 // Write renders m to w using opts. Missing entries are written as

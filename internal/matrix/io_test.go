@@ -106,6 +106,149 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReadStrictErrorMessages(t *testing.T) {
+	// Strict-mode diagnostics are load-bearing: callers and older tests
+	// match on them, so the quarantine refactor must not reword them.
+	cases := []struct {
+		in   string
+		opts IOOptions
+		want string
+	}{
+		{"1,2\n3\n", IOOptions{}, "matrix: record 1 has 1 fields, want 2"},
+		{"1,x\n", IOOptions{}, "matrix: record 0 field 1:"},
+		{"1,+Inf\n", IOOptions{}, `matrix: record 0 field 1: non-finite value "+Inf"`},
+		{"", IOOptions{Header: true}, "matrix: header requested but input is empty"},
+		{"a,b\n1,2,3\n", IOOptions{Header: true}, "matrix: header has 2 labels, want 3"},
+		{"1,\"2\"x,3\n", IOOptions{}, "matrix: reading delimited input:"},
+	}
+	for _, tc := range cases {
+		_, _, err := ReadReport(strings.NewReader(tc.in), tc.opts)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ReadReport(%q) err = %v, want containing %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestReadReportStrictCleanLoad(t *testing.T) {
+	m, rep, err := ReadReport(strings.NewReader("1,2\n3,4\n"), IOOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || rep.Total != 2 || len(rep.Quarantined) != 0 || rep.Survived() != 2 {
+		t.Fatalf("clean strict load: shape %dx%d, report %+v", m.Rows(), m.Cols(), rep)
+	}
+}
+
+func TestQuarantineSkipsMalformedRecords(t *testing.T) {
+	in := strings.Join([]string{
+		"1,2,3",       // 0: good
+		"4,5",         // 1: ragged
+		"6,x,8",       // 2: unparsable cell
+		"9,+Inf,11",   // 3: non-finite cell
+		`12,"13"x,14`, // 4: CSV-level parse error
+		"15,16,17",    // 5: good
+		"18,,NaN",     // 6: good — empty and NaN cells are missing, not malformed
+		"19,20,21",    // 7: good
+	}, "\n") + "\n"
+	m, rep, err := ReadReport(strings.NewReader(in), IOOptions{Quarantine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 8 || rep.Survived() != 4 {
+		t.Fatalf("report %+v, want 8 records with 4 survivors", rep)
+	}
+	wantDropped := []struct {
+		record int
+		reason string
+	}{
+		{1, "has 2 fields, want 3"},
+		{2, "field 1:"},
+		{3, `field 1: non-finite value "+Inf"`},
+		{4, `"`}, // csv's own message; just require it mentions the quote
+	}
+	if len(rep.Quarantined) != len(wantDropped) {
+		t.Fatalf("quarantined %+v, want %d records", rep.Quarantined, len(wantDropped))
+	}
+	for i, want := range wantDropped {
+		got := rep.Quarantined[i]
+		if got.Record != want.record || !strings.Contains(got.Reason, want.reason) {
+			t.Errorf("quarantined[%d] = %+v, want record %d with reason containing %q",
+				i, got, want.record, want.reason)
+		}
+	}
+	if m.Rows() != 4 || m.Cols() != 3 {
+		t.Fatalf("shape %dx%d, want the 4 surviving rows by 3 cols", m.Rows(), m.Cols())
+	}
+	if m.Get(0, 0) != 1 || m.Get(1, 0) != 15 || m.Get(2, 0) != 18 || m.Get(3, 0) != 19 {
+		t.Errorf("survivors out of order: col 0 = %v, %v, %v, %v",
+			m.Get(0, 0), m.Get(1, 0), m.Get(2, 0), m.Get(3, 0))
+	}
+	if m.IsSpecified(2, 1) || m.IsSpecified(2, 2) {
+		t.Error("missing cells in a surviving record loaded as specified")
+	}
+}
+
+func TestQuarantineSurvivorMinimum(t *testing.T) {
+	in := "1,2\n3,x\n5,y\n7,z\n" // 1 of 4 survives
+	_, rep, err := ReadReport(strings.NewReader(in), IOOptions{Quarantine: true})
+	if err == nil || !strings.Contains(err.Error(), "below the required minimum") {
+		t.Fatalf("err = %v, want the survivor-minimum error (default fraction 0.5)", err)
+	}
+	if rep == nil || rep.Survived() != 1 {
+		t.Fatalf("threshold failure must still return the report, got %+v", rep)
+	}
+	m, rep, err := ReadReport(strings.NewReader(in), IOOptions{Quarantine: true, MinSurvivingFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 1 || rep.Survived() != 1 {
+		t.Fatalf("relaxed fraction: shape %dx%d, report %+v", m.Rows(), m.Cols(), rep)
+	}
+}
+
+// The expected width in quarantine mode is voted, so one bad leading
+// record cannot condemn every following row (strict mode anchors on
+// record 0).
+func TestQuarantineWidthVote(t *testing.T) {
+	in := "1,2\n3,4,5\n6,7,8\n9,10,11\n"
+	m, rep, err := ReadReport(strings.NewReader(in), IOOptions{Quarantine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cols() != 3 {
+		t.Fatalf("cols = %d, want the majority width 3", m.Cols())
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Record != 0 {
+		t.Fatalf("quarantined %+v, want only the narrow record 0", rep.Quarantined)
+	}
+}
+
+func TestQuarantineRowLabelsSurvive(t *testing.T) {
+	in := ",c0,c1\nr0,1,2\nr1,3,x\nr2,5,6\n"
+	m, rep, err := ReadReport(strings.NewReader(in), IOOptions{Quarantine: true, Header: true, RowLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Survived() != 2 {
+		t.Fatalf("report %+v, want 2 survivors", rep)
+	}
+	if len(m.RowLabels) != 2 || m.RowLabels[0] != "r0" || m.RowLabels[1] != "r2" {
+		t.Fatalf("row labels %v, want only the survivors' labels [r0 r2]", m.RowLabels)
+	}
+	if m.ColLabels[1] != "c1" {
+		t.Fatalf("col labels %v, want [c0 c1]", m.ColLabels)
+	}
+}
+
+func TestQuarantineInvalidFraction(t *testing.T) {
+	for _, frac := range []float64{-0.1, 1.5} {
+		_, _, err := ReadReport(strings.NewReader("1\n"), IOOptions{Quarantine: true, MinSurvivingFraction: frac})
+		if err == nil || !strings.Contains(err.Error(), "MinSurvivingFraction") {
+			t.Errorf("fraction %v: err = %v, want a validation error", frac, err)
+		}
+	}
+}
+
 func TestWriteTSVNoLabels(t *testing.T) {
 	m, _ := NewFromRows([][]float64{{1, 2}})
 	var buf bytes.Buffer

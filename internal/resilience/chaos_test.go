@@ -1,0 +1,71 @@
+//go:build deltachaos
+
+package resilience
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deltacluster/internal/floc"
+	"deltacluster/internal/synth"
+)
+
+// TestChaosSupervisorRecoversEnginePanic injects a real engine panic
+// (the pre-apply fault point) into the first FLOC attempt and requires
+// the supervisor to recover it, retry with a rotated seed, finish the
+// campaign, and leak no goroutines.
+func TestChaosSupervisorRecoversEnginePanic(t *testing.T) {
+	defer floc.ChaosReset()
+	before := runtime.NumGoroutine()
+
+	ds, err := synth.Generate(synth.Config{
+		Rows: 120, Cols: 18, NumClusters: 3,
+		VolumeMean: 70, VolumeVariance: 0, RowColRatio: 5,
+		TargetResidue: 4,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := floc.DefaultConfig(3, 10)
+	cfg.SeedMode = floc.SeedRandom
+	cfg.Seed = 7
+
+	boom := errors.New("deltachaos: injected engine crash")
+	var fired atomic.Bool
+	floc.ChaosSet("pre-apply", func() error {
+		if fired.CompareAndSwap(false, true) {
+			return boom
+		}
+		return nil
+	})
+
+	rep, err := SuperviseFLOC(context.Background(), ds.Matrix, cfg, Policy{
+		Attempts:    1,
+		BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired.Load() {
+		t.Fatal("fault point never fired; the attempt did not exercise the hot path")
+	}
+	a := rep.Attempts[0]
+	if a.Panics != 1 || a.Retries != 1 {
+		t.Fatalf("attempt report %+v, want the injected panic recovered and retried once", a)
+	}
+	if a.Seed == cfg.Seed {
+		t.Fatalf("retry reused the crashed seed %d instead of rotating", cfg.Seed)
+	}
+	if rep.Best == nil || len(rep.Best.Clusters) == 0 {
+		t.Fatal("recovered campaign produced no clustering")
+	}
+	if rep.Degraded {
+		t.Fatal("recovered campaign reported Degraded")
+	}
+
+	assertGoroutinesStabilize(t, before)
+}

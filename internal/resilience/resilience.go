@@ -1,0 +1,290 @@
+// Package resilience is deltarun, the fault-tolerant run supervisor.
+// FLOC is a long-running randomized optimizer; the supervisor turns
+// one fallible run into a managed campaign: K restart attempts over
+// rotated seeds, a per-attempt deadline, panic isolation (a crashing
+// attempt is recovered, logged and retried under capped exponential
+// backoff with a fresh seed), and graceful degradation — when the
+// caller's budget expires the best completed attempt is returned
+// instead of nothing.
+//
+// The package is generic over an AttemptFunc so the retry/panic/
+// deadline machinery is testable without running the real engine;
+// SuperviseFLOC binds it to floc.RunContext.
+//
+// Concurrency contract: the supervisor runs each attempt on its own
+// goroutine (so a panic unwinds the attempt, not the caller) but
+// always waits for that goroutine to finish before moving on — never
+// abandoning it — so a supervised campaign leaks zero goroutines.
+// This relies on the engines' cancellation guarantee: a cancelled
+// attempt returns within one iteration.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"deltacluster/internal/floc"
+	"deltacluster/internal/matrix"
+)
+
+// AttemptFunc runs one attempt with the given seed. It must honor ctx
+// (return promptly once cancelled) and may panic; the supervisor
+// recovers. A *floc.PartialResult error is understood as graceful
+// degradation: its partial clustering becomes a candidate result.
+type AttemptFunc func(ctx context.Context, seed int64) (*floc.Result, error)
+
+// Policy parameterizes a supervised campaign. The zero value means
+// one attempt, no deadline, two panic retries with 10ms–1s backoff.
+type Policy struct {
+	// Attempts is the number of restart attempts; attempt i runs with
+	// seed Seed+i. Defaults to 1.
+	Attempts int
+
+	// Seed is the base seed. SuperviseFLOC overrides it with the
+	// configuration's seed.
+	Seed int64
+
+	// AttemptTimeout, when positive, deadlines each attempt
+	// individually. An attempt that times out may still contribute its
+	// partial result as a candidate.
+	AttemptTimeout time.Duration
+
+	// MaxRetries is how many times a panicking attempt is retried
+	// (with a rotated seed) before the attempt is abandoned. Defaults
+	// to 2. Negative disables retries.
+	MaxRetries int
+
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between panic retries: base, 2·base, 4·base, … capped. Default
+	// 10ms and 1s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+
+	// RotateSeed derives the seed for retry r (r ≥ 1) of an attempt
+	// whose base seed panicked. The default offsets by r·1e6, far from
+	// the Seed+i attempt ladder.
+	RotateSeed func(seed int64, retry int) int64
+
+	// Better reports whether a is a better result than b. The default
+	// prefers the lower average residue.
+	Better func(a, b *floc.Result) bool
+
+	// Logf, when non-nil, receives supervision events (panics,
+	// retries, degradation). Silent by default.
+	Logf func(format string, args ...any)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 2
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 10 * time.Millisecond
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = time.Second
+	}
+	if p.RotateSeed == nil {
+		p.RotateSeed = func(seed int64, retry int) int64 {
+			return seed + int64(retry)*1_000_000
+		}
+	}
+	if p.Better == nil {
+		p.Better = func(a, b *floc.Result) bool { return a.AvgResidue < b.AvgResidue }
+	}
+	return p
+}
+
+func (p *Policy) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}
+
+// AttemptReport records how one attempt went.
+type AttemptReport struct {
+	// Seed is the seed the attempt finally ran with (rotated from the
+	// base seed when panics forced retries).
+	Seed int64
+	// Retries counts panic retries consumed.
+	Retries int
+	// Panics counts recovered panics.
+	Panics int
+	// Partial reports that the attempt's result is a deadline-degraded
+	// partial clustering, not a converged run.
+	Partial bool
+	// Err is the attempt's terminal error (nil when it produced a full
+	// result).
+	Err error
+	// Duration is the attempt's wall-clock time, retries included.
+	Duration time.Duration
+}
+
+// Report is the outcome of a supervised campaign.
+type Report struct {
+	// Best is the best result any attempt produced (possibly a partial
+	// clustering — see the attempt's Partial flag), or nil when every
+	// attempt failed.
+	Best *floc.Result
+	// BestSeed is the seed that produced Best.
+	BestSeed int64
+	// BestPartial reports that Best came from a degraded (partial)
+	// attempt.
+	BestPartial bool
+	// Attempts holds one report per attempt actually started.
+	Attempts []AttemptReport
+	// Degraded reports that the campaign could not run to plan: the
+	// budget expired before all attempts ran, or Best is partial.
+	Degraded bool
+}
+
+// Supervise runs up to policy.Attempts attempts of run and returns the
+// best result. It returns an error only when no attempt produced any
+// result (not even a partial one); otherwise degradation is reported
+// through the Report.
+func Supervise(ctx context.Context, policy Policy, run AttemptFunc) (*Report, error) {
+	if run == nil {
+		return nil, fmt.Errorf("resilience: nil AttemptFunc")
+	}
+	p := policy.withDefaults()
+	rep := &Report{}
+	var lastErr error
+	for a := 0; a < p.Attempts; a++ {
+		if ctx.Err() != nil {
+			p.logf("resilience: budget expired after %d of %d attempts", a, p.Attempts)
+			rep.Degraded = true
+			break
+		}
+		res, arep := p.runAttempt(ctx, p.Seed+int64(a), run)
+		rep.Attempts = append(rep.Attempts, arep)
+		if arep.Err != nil {
+			lastErr = arep.Err
+		}
+		if res == nil {
+			continue
+		}
+		if rep.Best == nil || p.Better(res, rep.Best) {
+			rep.Best = res
+			rep.BestSeed = arep.Seed
+			rep.BestPartial = arep.Partial
+		}
+	}
+	if rep.BestPartial {
+		rep.Degraded = true
+	}
+	if rep.Best == nil {
+		if lastErr == nil {
+			lastErr = ctx.Err()
+		}
+		return rep, fmt.Errorf("resilience: no attempt produced a result: %w", lastErr)
+	}
+	return rep, nil
+}
+
+// runAttempt runs one attempt, retrying recovered panics with rotated
+// seeds under capped exponential backoff.
+func (p *Policy) runAttempt(ctx context.Context, seed int64, run AttemptFunc) (*floc.Result, AttemptReport) {
+	arep := AttemptReport{Seed: seed}
+	start := time.Now()
+	defer func() { arep.Duration = time.Since(start) }()
+
+	backoff := p.BackoffBase
+	for retry := 0; ; retry++ {
+		if err := ctx.Err(); err != nil {
+			arep.Err = err
+			return nil, arep
+		}
+		res, err, panicVal := p.runOnce(ctx, arep.Seed, run)
+		if panicVal == nil {
+			if err == nil {
+				arep.Err = nil
+				return res, arep
+			}
+			var pr *floc.PartialResult
+			if errors.As(err, &pr) && pr.Result != nil {
+				// Deadline/cancellation degradation: the engine's
+				// best-so-far clustering is still a candidate.
+				p.logf("resilience: attempt seed %d degraded: %v", arep.Seed, err)
+				arep.Partial = true
+				arep.Err = err
+				return pr.Result, arep
+			}
+			arep.Err = err
+			return nil, arep
+		}
+
+		arep.Panics++
+		if retry >= p.MaxRetries {
+			arep.Err = fmt.Errorf("resilience: attempt panicked %d times, giving up (last: %v)", arep.Panics, panicVal)
+			p.logf("%v", arep.Err)
+			return nil, arep
+		}
+		next := p.RotateSeed(seed, retry+1)
+		p.logf("resilience: attempt seed %d panicked: %v; retrying with seed %d after %v",
+			arep.Seed, panicVal, next, backoff)
+		arep.Retries++
+		arep.Seed = next
+		select {
+		case <-ctx.Done():
+			arep.Err = ctx.Err()
+			return nil, arep
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > p.BackoffCap {
+			backoff = p.BackoffCap
+		}
+	}
+}
+
+// runOnce executes run on its own goroutine with the per-attempt
+// deadline applied, recovering a panic instead of unwinding the
+// caller. It always waits for the goroutine to finish — the engines'
+// return-within-one-iteration cancellation guarantee bounds the wait —
+// so no goroutine outlives the call.
+func (p *Policy) runOnce(ctx context.Context, seed int64, run AttemptFunc) (res *floc.Result, err error, panicVal any) {
+	actx := ctx
+	cancel := context.CancelFunc(func() {})
+	if p.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+	}
+	defer cancel()
+
+	type outcome struct {
+		res      *floc.Result
+		err      error
+		panicVal any
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{panicVal: r}
+			}
+		}()
+		r, e := run(actx, seed)
+		done <- outcome{res: r, err: e}
+	}()
+	o := <-done
+	return o.res, o.err, o.panicVal
+}
+
+// SuperviseFLOC supervises FLOC runs over m with cfg: attempt i runs
+// floc.RunContext with seed cfg.Seed+i under the policy's deadlines
+// and panic isolation. The policy's Seed is overridden by cfg.Seed.
+func SuperviseFLOC(ctx context.Context, m *matrix.Matrix, cfg floc.Config, policy Policy) (*Report, error) {
+	policy.Seed = cfg.Seed
+	return Supervise(ctx, policy, func(ctx context.Context, seed int64) (*floc.Result, error) {
+		c := cfg
+		c.Seed = seed
+		return floc.RunContext(ctx, m, c)
+	})
+}

@@ -1,0 +1,249 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"deltacluster/internal/floc"
+	"deltacluster/internal/synth"
+)
+
+// assertGoroutinesStabilize waits for the goroutine count to return to
+// the before-mark, failing if it does not settle — the zero-leak
+// guarantee of the supervisor.
+func assertGoroutinesStabilize(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after supervision\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSupervisePicksBestSeed(t *testing.T) {
+	run := func(_ context.Context, seed int64) (*floc.Result, error) {
+		return &floc.Result{AvgResidue: float64(seed)}, nil
+	}
+	rep, err := Supervise(context.Background(), Policy{Attempts: 3, Seed: 10}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Attempts) != 3 {
+		t.Fatalf("ran %d attempts, want 3", len(rep.Attempts))
+	}
+	if rep.BestSeed != 10 || rep.Best.AvgResidue != 10 {
+		t.Fatalf("best seed %d (avg %v), want seed 10 with the lowest residue", rep.BestSeed, rep.Best.AvgResidue)
+	}
+	if rep.Degraded {
+		t.Fatal("healthy campaign reported Degraded")
+	}
+}
+
+func TestSupervisePanicRetryRotatesSeed(t *testing.T) {
+	const base = 5
+	var seeds []int64
+	run := func(_ context.Context, seed int64) (*floc.Result, error) {
+		seeds = append(seeds, seed)
+		if seed == base {
+			panic("injected attempt crash")
+		}
+		return &floc.Result{AvgResidue: 1}, nil
+	}
+	var logged []string
+	rep, err := Supervise(context.Background(), Policy{
+		Attempts:    1,
+		Seed:        base,
+		BackoffBase: time.Millisecond,
+		Logf:        func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) },
+	}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best == nil {
+		t.Fatal("retry with rotated seed produced no result")
+	}
+	a := rep.Attempts[0]
+	if a.Panics != 1 || a.Retries != 1 {
+		t.Fatalf("attempt report %+v, want 1 panic and 1 retry", a)
+	}
+	if a.Seed == base {
+		t.Fatalf("retry reused the panicking seed %d instead of rotating", base)
+	}
+	if len(seeds) != 2 || seeds[0] != base || seeds[1] == base {
+		t.Fatalf("attempt seeds %v, want base then a rotated seed", seeds)
+	}
+	if len(logged) == 0 || !strings.Contains(logged[0], "panicked") {
+		t.Fatalf("panic was not logged: %q", logged)
+	}
+}
+
+func TestSuperviseRetriesExhausted(t *testing.T) {
+	calls := 0
+	run := func(_ context.Context, seed int64) (*floc.Result, error) {
+		calls++
+		panic("always crashing")
+	}
+	rep, err := Supervise(context.Background(), Policy{
+		Attempts:    1,
+		MaxRetries:  2,
+		BackoffBase: time.Millisecond,
+	}, run)
+	if err == nil {
+		t.Fatal("campaign with only crashing attempts reported success")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error %q does not mention the panics", err)
+	}
+	if calls != 3 {
+		t.Fatalf("attempt ran %d times, want initial + 2 retries = 3", calls)
+	}
+	if a := rep.Attempts[0]; a.Panics != 3 {
+		t.Fatalf("attempt report %+v, want 3 recovered panics", a)
+	}
+}
+
+func TestSuperviseAttemptTimeoutDegradesToPartial(t *testing.T) {
+	partial := &floc.PartialResult{Result: &floc.Result{AvgResidue: 42}}
+	run := func(ctx context.Context, _ int64) (*floc.Result, error) {
+		<-ctx.Done() // simulate an engine honoring its attempt deadline
+		return nil, partial
+	}
+	rep, err := Supervise(context.Background(), Policy{
+		Attempts:       1,
+		AttemptTimeout: 20 * time.Millisecond,
+	}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best == nil || rep.Best.AvgResidue != 42 {
+		t.Fatalf("best %+v, want the partial clustering as degraded candidate", rep.Best)
+	}
+	if !rep.Degraded || !rep.BestPartial {
+		t.Fatalf("report %+v, want Degraded and BestPartial set", rep)
+	}
+	if a := rep.Attempts[0]; !a.Partial || a.Err == nil {
+		t.Fatalf("attempt report %+v, want Partial with the timeout error kept", a)
+	}
+}
+
+func TestSuperviseBudgetExpiryStopsCampaign(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	run := func(ctx context.Context, _ int64) (*floc.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	rep, err := Supervise(ctx, Policy{Attempts: 5}, run)
+	if err == nil {
+		t.Fatal("campaign with no completed attempt reported success")
+	}
+	if !rep.Degraded {
+		t.Fatal("budget expiry not reported as Degraded")
+	}
+	if len(rep.Attempts) >= 5 {
+		t.Fatalf("campaign kept starting attempts (%d) after the budget expired", len(rep.Attempts))
+	}
+}
+
+// TestSuperviseFLOCBestOfSeeds runs a real multi-seed FLOC campaign
+// and checks the supervisor returns exactly what the better direct run
+// produces.
+func TestSuperviseFLOCBestOfSeeds(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{
+		Rows: 120, Cols: 18, NumClusters: 3,
+		VolumeMean: 70, VolumeVariance: 0, RowColRatio: 5,
+		TargetResidue: 4,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := floc.DefaultConfig(3, 10)
+	cfg.SeedMode = floc.SeedRandom
+	cfg.Seed = 7
+
+	want := -1.0
+	var wantSeed int64
+	for s := cfg.Seed; s < cfg.Seed+2; s++ {
+		c := cfg
+		c.Seed = s
+		res, err := floc.Run(ds.Matrix, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want < 0 || res.AvgResidue < want {
+			want = res.AvgResidue
+			wantSeed = s
+		}
+	}
+
+	rep, err := SuperviseFLOC(context.Background(), ds.Matrix, cfg, Policy{Attempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestSeed != wantSeed || rep.Best.AvgResidue != want {
+		t.Fatalf("supervisor best seed %d avg %v, direct best seed %d avg %v",
+			rep.BestSeed, rep.Best.AvgResidue, wantSeed, want)
+	}
+	if rep.Degraded {
+		t.Fatal("healthy FLOC campaign reported Degraded")
+	}
+}
+
+// TestSuperviseNoGoroutineLeak drives the supervisor through its
+// failure modes — panics, attempt timeouts, budget expiry — and
+// requires the goroutine count to stabilize back to the baseline.
+func TestSuperviseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	panicker := func(_ context.Context, seed int64) (*floc.Result, error) {
+		panic("crash")
+	}
+	sleeper := func(ctx context.Context, _ int64) (*floc.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	for i := 0; i < 5; i++ {
+		_, _ = Supervise(context.Background(), Policy{Attempts: 2, MaxRetries: 1, BackoffBase: time.Millisecond}, panicker)
+		_, _ = Supervise(context.Background(), Policy{Attempts: 2, AttemptTimeout: 5 * time.Millisecond}, sleeper)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		_, _ = Supervise(ctx, Policy{Attempts: 3}, sleeper)
+		cancel()
+	}
+
+	assertGoroutinesStabilize(t, before)
+}
+
+func TestSuperviseNilAttemptFunc(t *testing.T) {
+	if _, err := Supervise(context.Background(), Policy{}, nil); err == nil ||
+		!strings.Contains(err.Error(), "nil AttemptFunc") {
+		t.Fatalf("err = %v, want a nil-AttemptFunc error", err)
+	}
+}
+
+// The supervisor's degradation path must preserve errors.Is/As
+// through the attempt report.
+func TestAttemptErrUnwraps(t *testing.T) {
+	run := func(ctx context.Context, _ int64) (*floc.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	rep, _ := Supervise(ctx, Policy{Attempts: 1}, run)
+	if len(rep.Attempts) != 1 {
+		t.Fatalf("ran %d attempts, want 1", len(rep.Attempts))
+	}
+	if !errors.Is(rep.Attempts[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("attempt error %v does not unwrap to context.DeadlineExceeded", rep.Attempts[0].Err)
+	}
+}

@@ -15,15 +15,62 @@ import "math/rand"
 // around math/rand.Rand that fixes the seeding discipline: every
 // randomized component in this repository receives an explicit *RNG,
 // never the process-global source.
+//
+// An RNG additionally tracks its position in the stream: every value
+// any method returns is derived from Source.Int63 draws, and the RNG
+// counts them. (Seed, Draws) therefore identifies a point in the
+// stream exactly, and NewRNGAt reconstructs a generator at that point
+// — the primitive the FLOC checkpoint/resume machinery builds on.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	src  *countingSource
+	seed int64
 }
+
+// countingSource wraps the underlying rand.Source and counts Int63
+// calls. It deliberately does NOT implement rand.Source64: with a
+// plain Source, every rand.Rand method this wrapper exposes funnels
+// through Int63, so the draw count is a complete account of consumed
+// entropy.
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
 
 // NewRNG returns a generator seeded with seed. Two generators created
 // with the same seed produce identical streams.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed)}
+	return &RNG{r: rand.New(src), src: src, seed: seed}
 }
+
+// NewRNGAt returns a generator positioned exactly draws Int63 draws
+// into the stream of NewRNG(seed): the fast-forward used to resume a
+// checkpointed run. Fast-forwarding costs O(draws) cheap source
+// calls.
+func NewRNGAt(seed int64, draws uint64) *RNG {
+	g := NewRNG(seed)
+	for i := uint64(0); i < draws; i++ {
+		g.src.Int63()
+	}
+	g.src.draws = draws
+	return g
+}
+
+// InitialSeed returns the seed the generator was created with.
+func (g *RNG) InitialSeed() int64 { return g.seed }
+
+// Draws returns how many Int63 draws the generator has consumed from
+// its source. Together with InitialSeed it pins the generator's exact
+// position in the stream (see NewRNGAt).
+func (g *RNG) Draws() uint64 { return g.src.draws }
 
 // Float64 returns a uniform value in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
