@@ -1,0 +1,148 @@
+// Command deltaserve runs the asynchronous δ-cluster job service: an
+// HTTP JSON API over a bounded worker pool, with explicit
+// backpressure, per-job deadlines, TTL-evicted results and graceful
+// drain.
+//
+// Usage:
+//
+//	deltaserve [-addr :8080] [-workers 4] [-queue 64] [-ttl 15m]
+//	           [-deadline 0] [-max-deadline 0] [-checkpoint-dir DIR]
+//	           [-seed 1] [-drain-timeout 30s]
+//
+// # Lifecycle
+//
+// SIGINT or SIGTERM begins a graceful drain: new submissions are
+// rejected with 503, queued-but-unstarted jobs are cancelled, and
+// running jobs get -drain-timeout to finish. Jobs still running when
+// the budget expires are context-cancelled (stopping within one
+// engine iteration) and their best-so-far FLOC checkpoints are
+// flushed to -checkpoint-dir, resumable with `floc -resume`. The
+// status endpoints keep serving during the drain so clients can
+// observe the final states; the process then exits 0. A second
+// signal kills the process immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deltacluster/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 4, "worker pool size (max concurrently running jobs)")
+		queueCap     = flag.Int("queue", 64, "queue capacity; a full queue returns 429 + Retry-After")
+		ttl          = flag.Duration("ttl", 15*time.Minute, "how long finished jobs stay readable")
+		deadline     = flag.Duration("deadline", 0, "default per-job run deadline (0 = none)")
+		maxDeadline  = flag.Duration("max-deadline", 0, "hard cap on any job's deadline (0 = none)")
+		ckDir        = flag.String("checkpoint-dir", "", "flush interrupted FLOC job checkpoints here")
+		seed         = flag.Int64("seed", 1, "job-ID RNG seed (equal seeds issue equal ID sequences)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
+		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: deltaserve [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if *workers < 1 {
+		usageError("-workers must be at least 1 (got %d)", *workers)
+	}
+	if *queueCap < 1 {
+		usageError("-queue must be at least 1 (got %d)", *queueCap)
+	}
+	if *ttl <= 0 {
+		usageError("-ttl must be a positive duration (got %v)", *ttl)
+	}
+	if *deadline < 0 {
+		usageError("-deadline must not be negative (got %v)", *deadline)
+	}
+	if *maxDeadline < 0 {
+		usageError("-max-deadline must not be negative (got %v)", *maxDeadline)
+	}
+	if *drainTimeout <= 0 {
+		usageError("-drain-timeout must be a positive duration (got %v)", *drainTimeout)
+	}
+	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			fatal(fmt.Errorf("creating -checkpoint-dir: %w", err))
+		}
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	svc := service.New(service.Options{
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		TTL:             *ttl,
+		Seed:            *seed,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		CheckpointDir:   *ckDir,
+		Logf:            logf,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	logf("deltaserve: listening on %s (%d workers, queue %d, ttl %v)",
+		*addr, *workers, *queueCap, *ttl)
+
+	// First signal: drain. Second signal (after stop()): default
+	// handling, i.e. immediate death.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+	}
+
+	logf("deltaserve: signal received; draining (budget %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(drainCtx); err != nil {
+		logf("deltaserve: drain budget expired; interrupted jobs were cancelled: %v", err)
+	}
+
+	// The pool is stopped; now close the listener, giving in-flight
+	// status polls a moment to complete.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("deltaserve: closing listener: %v", err)
+	}
+	logf("deltaserve: drained, exiting")
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "deltaserve: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deltaserve:", err)
+	os.Exit(1)
+}

@@ -14,7 +14,8 @@
 //
 // # Interruption, checkpoints and resume
 //
-// A run interrupted by SIGINT or SIGTERM stops within one iteration,
+// A run interrupted by SIGINT, SIGTERM or an expired -deadline budget
+// stops within one iteration,
 // prints the best-so-far clustering, flushes a final checkpoint to
 // the -checkpoint path (when given), and exits with status 3. With
 // -checkpoint the run also snapshots every -checkpoint-every
@@ -54,6 +55,7 @@ func main() {
 		all       = flag.Bool("all", false, "print all k clusters, not only the significant ones")
 		logT      = flag.Bool("log", false, "log-transform the matrix first (amplification → shifting coherence)")
 
+		deadline    = flag.Duration("deadline", 0, "wall-clock budget for the run; when it expires the run stops within one iteration, prints the best-so-far clustering and exits 3 (0 = none)")
 		quarantine  = flag.Bool("quarantine", false, "skip malformed input records instead of failing the load")
 		checkpoint  = flag.String("checkpoint", "", "write resumable checkpoints to this file")
 		ckEvery     = flag.Int("checkpoint-every", 1, "checkpoint every N improving iterations (with -checkpoint)")
@@ -77,6 +79,9 @@ func main() {
 	}
 	if *ckEvery < 1 {
 		usageError("-checkpoint-every must be a positive iteration count (got %d)", *ckEvery)
+	}
+	if *deadline < 0 {
+		usageError("-deadline must not be negative (got %v)", *deadline)
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -156,6 +161,14 @@ func main() {
 	// (stop() below restores default handling before the slow prints).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *deadline > 0 {
+		// The budget rides the same RunContext plumbing as the
+		// signals: expiry stops the run at the next iteration boundary
+		// with a *FLOCPartialResult whose Reason is "deadline".
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	res, err := deltacluster.FLOCWithOptions(ctx, m, cfg, runOpts)
 	if err != nil {

@@ -73,7 +73,20 @@ func (p *PartialResult) Error() string {
 // Unwrap exposes the underlying context error.
 func (p *PartialResult) Unwrap() error { return p.cause }
 
-// RunOptions extends RunContext with checkpointing.
+// Progress is a live position report of a running optimization: the
+// number of improving iterations completed and the best average
+// residue at that boundary.
+type Progress struct {
+	// Iteration counts the improving iterations completed so far (the
+	// value Result.Iterations would have if the run stopped here).
+	Iteration int
+
+	// AvgResidue is the average residue of the best clustering at
+	// this boundary — the last entry of the residue trace.
+	AvgResidue float64
+}
+
+// RunOptions extends RunContext with checkpointing and observation.
 type RunOptions struct {
 	// Resume, when non-nil, restarts the run from a checkpoint instead
 	// of seeding. The matrix, seed and configuration (MaxIterations
@@ -90,6 +103,14 @@ type RunOptions struct {
 	// aborts the run with that error. Ignored when CheckpointEvery is
 	// 0.
 	OnCheckpoint func(*Checkpoint) error
+
+	// OnProgress, when non-nil, observes the run's live position: it
+	// is called once after seeding (or resuming) and again after every
+	// improving iteration, on the run's own goroutine. It is pure
+	// observation — it draws no randomness and cannot influence the
+	// run, so fingerprints are identical with and without it — but it
+	// runs between iterations, so it must return quickly.
+	OnProgress func(Progress)
 }
 
 // Run executes FLOC on m with the given configuration and returns the
@@ -140,6 +161,13 @@ func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunO
 		trace = []float64{e.avgResidue()}
 	}
 
+	progress := func() {
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{Iteration: iterations, AvgResidue: trace[len(trace)-1]})
+		}
+	}
+	progress()
+
 	// Phase 2: iterative improvement.
 	bestCost := e.costSum
 	for iterations < cfg.MaxIterations {
@@ -154,6 +182,7 @@ func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunO
 		trace = append(trace, e.avgResidue())
 		iterations++
 		atBoundary = true
+		progress()
 		if chaosEnabled {
 			if err := chaos("post-iteration"); err != nil {
 				panic(err)

@@ -1,0 +1,104 @@
+package floc
+
+import (
+	"context"
+	"testing"
+
+	"deltacluster/internal/stats"
+)
+
+// TestOnProgressReportsEveryBoundary checks the observation contract:
+// one report after seeding, one per improving iteration, each carrying
+// the trace's value at that boundary.
+func TestOnProgressReportsEveryBoundary(t *testing.T) {
+	m := resilienceTestMatrix(t)
+	cfg := resilienceTestConfig()
+
+	var seen []Progress
+	res, err := RunWithOptions(context.Background(), m, cfg, RunOptions{
+		OnProgress: func(p Progress) { seen = append(seen, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != res.Iterations+1 {
+		t.Fatalf("got %d progress reports, want %d (seed + one per improving iteration)",
+			len(seen), res.Iterations+1)
+	}
+	for i, p := range seen {
+		if p.Iteration != i {
+			t.Fatalf("report %d has Iteration = %d", i, p.Iteration)
+		}
+		if !stats.EqualWithin(p.AvgResidue, res.ResidueTrace[i], 0) {
+			t.Fatalf("report %d has AvgResidue = %v, want trace value %v",
+				i, p.AvgResidue, res.ResidueTrace[i])
+		}
+	}
+	last := seen[len(seen)-1]
+	if !stats.EqualWithin(last.AvgResidue, res.ResidueTrace[len(res.ResidueTrace)-1], 0) {
+		t.Fatalf("final report %v does not match the final trace entry", last)
+	}
+}
+
+// TestOnProgressIsPureObservation verifies the fingerprint guarantee:
+// a run with an observer is bit-identical to one without.
+func TestOnProgressIsPureObservation(t *testing.T) {
+	m := resilienceTestMatrix(t)
+	cfg := resilienceTestConfig()
+
+	plain, err := RunContext(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := RunWithOptions(context.Background(), m, cfg, RunOptions{
+		OnProgress: func(Progress) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Iterations != observed.Iterations ||
+		plain.ActionsApplied != observed.ActionsApplied ||
+		plain.GainEvaluations != observed.GainEvaluations ||
+		!stats.EqualWithin(plain.AvgResidue, observed.AvgResidue, 0) {
+		t.Fatalf("observed run diverged: %+v vs %+v", plain, observed)
+	}
+	if len(plain.ResidueTrace) != len(observed.ResidueTrace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(plain.ResidueTrace), len(observed.ResidueTrace))
+	}
+	for i := range plain.ResidueTrace {
+		if !stats.EqualWithin(plain.ResidueTrace[i], observed.ResidueTrace[i], 0) {
+			t.Fatalf("trace[%d] differs: %v vs %v", i, plain.ResidueTrace[i], observed.ResidueTrace[i])
+		}
+	}
+}
+
+// TestOnProgressResume checks that a resumed run reports from the
+// resumed iteration, not from zero.
+func TestOnProgressResume(t *testing.T) {
+	m := resilienceTestMatrix(t)
+	cfg := resilienceTestConfig()
+	_, cks := captureCheckpoints(t, m, cfg)
+	if len(cks) < 2 {
+		t.Skip("workload converged too fast to exercise resume")
+	}
+	ck := cks[1]
+
+	var first *Progress
+	_, err := RunWithOptions(context.Background(), m, cfg, RunOptions{
+		Resume: ck,
+		OnProgress: func(p Progress) {
+			if first == nil {
+				first = &p
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == nil {
+		t.Fatal("no progress reported on resume")
+	}
+	if first.Iteration != ck.Iterations {
+		t.Fatalf("first resumed report at iteration %d, want %d", first.Iteration, ck.Iterations)
+	}
+}

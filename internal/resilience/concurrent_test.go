@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"deltacluster/internal/floc"
+	"deltacluster/internal/synth"
+)
+
+// TestConcurrentSupervisorsNoLeak runs many supervised campaigns at
+// once — the deltaserve worker-pool shape — with deliberately hostile
+// attempt bodies: panics, partial degradations, timeouts and clean
+// wins, all mixed. Under -race this doubles as a data-race audit of
+// the supervisor; afterwards the goroutine count must return to the
+// pre-campaign mark, proving no campaign abandoned an attempt.
+func TestConcurrentSupervisorsNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const campaigns = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, campaigns)
+	for c := 0; c < campaigns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			run := func(ctx context.Context, seed int64) (*floc.Result, error) {
+				switch seed % 4 {
+				case 0:
+					panic(fmt.Sprintf("injected crash (campaign %d seed %d)", c, seed))
+				case 1:
+					// Degrade: honor the attempt deadline, hand back a
+					// partial clustering.
+					<-ctx.Done()
+					return nil, &floc.PartialResult{
+						Result: &floc.Result{AvgResidue: float64(100 + seed)},
+					}
+				default:
+					return &floc.Result{AvgResidue: float64(seed)}, nil
+				}
+			}
+			rep, err := Supervise(context.Background(), Policy{
+				Attempts:       4,
+				Seed:           int64(c * 4),
+				AttemptTimeout: 10 * time.Millisecond,
+				BackoffBase:    time.Millisecond,
+				BackoffCap:     2 * time.Millisecond,
+			}, run)
+			if err != nil {
+				errs <- fmt.Errorf("campaign %d: %w", c, err)
+				return
+			}
+			if rep.Best == nil {
+				errs <- fmt.Errorf("campaign %d: no best result", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	assertGoroutinesStabilize(t, before)
+}
+
+// TestConcurrentSuperviseFLOCDeterministic runs the same real FLOC
+// campaign on many goroutines simultaneously. Every campaign must
+// produce the bit-identical clustering — concurrent supervisors share
+// no hidden state — and no goroutine may outlive the batch.
+func TestConcurrentSuperviseFLOCDeterministic(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ds, err := synth.Generate(synth.Config{
+		Rows: 60, Cols: 12, NumClusters: 2,
+		VolumeMean: 60, VolumeVariance: 0, RowColRatio: 3,
+		TargetResidue: 2,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := floc.DefaultConfig(3, 6)
+	cfg.Seed = 9
+
+	const batch = 8
+	results := make([]*Report, batch)
+	var wg sync.WaitGroup
+	for i := 0; i < batch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := SuperviseFLOC(context.Background(), ds.Matrix, cfg, Policy{Attempts: 2})
+			if err != nil {
+				t.Errorf("campaign %d: %v", i, err)
+				return
+			}
+			results[i] = rep
+		}(i)
+	}
+	wg.Wait()
+
+	ref := results[0]
+	if ref == nil {
+		t.Fatal("no reference campaign result")
+	}
+	for i, rep := range results {
+		if rep == nil {
+			continue // already reported
+		}
+		if rep.BestSeed != ref.BestSeed {
+			t.Errorf("campaign %d picked seed %d, campaign 0 picked %d", i, rep.BestSeed, ref.BestSeed)
+		}
+		if rep.Best.AvgResidue != ref.Best.AvgResidue {
+			t.Errorf("campaign %d avg residue %v, campaign 0 %v — concurrent campaigns diverged",
+				i, rep.Best.AvgResidue, ref.Best.AvgResidue)
+		}
+		if rep.Best.Iterations != ref.Best.Iterations {
+			t.Errorf("campaign %d ran %d iterations, campaign 0 ran %d",
+				i, rep.Best.Iterations, ref.Best.Iterations)
+		}
+	}
+
+	assertGoroutinesStabilize(t, before)
+}
+
+// TestConcurrentSupervisorsCancelStorm cancels campaigns mid-flight
+// from another goroutine while they run attempts that block on their
+// context — the DELETE-under-load shape. Every campaign must unwind
+// promptly and leak nothing.
+func TestConcurrentSupervisorsCancelStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const campaigns = 16
+	var wg sync.WaitGroup
+	for c := 0; c < campaigns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(time.Duration(c%5) * time.Millisecond)
+				cancel()
+			}()
+			run := func(ctx context.Context, seed int64) (*floc.Result, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			rep, err := Supervise(ctx, Policy{Attempts: 8}, run)
+			if err == nil {
+				t.Errorf("campaign %d: cancelled campaign with no completed attempt reported success", c)
+				return
+			}
+			if !rep.Degraded {
+				t.Errorf("campaign %d: cancellation not reported as Degraded", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	assertGoroutinesStabilize(t, before)
+}

@@ -1,0 +1,389 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"deltacluster/internal/bicluster"
+	"deltacluster/internal/clique"
+	"deltacluster/internal/floc"
+	"deltacluster/internal/matrix"
+)
+
+// Algorithm names accepted by SubmitRequest.
+const (
+	AlgoFLOC      = "floc"
+	AlgoBicluster = "bicluster"
+	AlgoClique    = "clique"
+)
+
+// SubmitRequest is the body of POST /v1/jobs: one matrix, one
+// algorithm, and that algorithm's parameters. Unknown fields are
+// rejected, so typos surface as 400s instead of silently running a
+// default configuration.
+type SubmitRequest struct {
+	// Algorithm selects the engine: "floc" (default), "bicluster"
+	// (Cheng & Church) or "clique".
+	Algorithm string `json:"algorithm,omitempty"`
+
+	// Matrix is the data, inline. Exactly one of its encodings must be
+	// set.
+	Matrix MatrixPayload `json:"matrix"`
+
+	// FLOC, Bicluster and Clique hold the per-algorithm parameters;
+	// only the block matching Algorithm is consulted.
+	FLOC      *FLOCParams      `json:"floc,omitempty"`
+	Bicluster *BiclusterParams `json:"bicluster,omitempty"`
+	Clique    *CliqueParams    `json:"clique,omitempty"`
+
+	// DeadlineMillis, when positive, bounds the job's wall-clock run
+	// time. An expired deadline stops the engine within one iteration;
+	// FLOC jobs then report their best-so-far clustering as a partial
+	// result. 0 falls back to the server's default deadline.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// MatrixPayload carries the input matrix either as dense JSON rows
+// (null marks a missing entry) or as delimited text.
+type MatrixPayload struct {
+	// Rows is the dense encoding: one slice per object, one entry per
+	// attribute, null for missing values.
+	Rows [][]*float64 `json:"rows,omitempty"`
+
+	// CSV is the text encoding, parsed exactly like cmd/floc input
+	// (comma-separated, empty cells missing).
+	CSV string `json:"csv,omitempty"`
+}
+
+// FLOCParams mirrors the floc.Config knobs the service exposes.
+type FLOCParams struct {
+	K               int     `json:"k"`
+	Delta           float64 `json:"delta"`
+	Seed            int64   `json:"seed,omitempty"`
+	MaxIterations   int     `json:"max_iterations,omitempty"`
+	Order           string  `json:"order,omitempty"`   // fixed | random | weighted
+	Seeding         string  `json:"seeding,omitempty"` // random | anchored | auto
+	Occupancy       float64 `json:"occupancy,omitempty"`
+	ApproximateGain bool    `json:"approximate_gain,omitempty"`
+
+	// Attempts is the number of supervised restart attempts (attempt i
+	// runs with seed Seed+i; the best clustering wins). Defaults to 1.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// BiclusterParams mirrors the bicluster.Config knobs.
+type BiclusterParams struct {
+	K     int     `json:"k"`
+	Delta float64 `json:"delta"`
+	Alpha float64 `json:"alpha,omitempty"`
+	Seed  int64   `json:"seed,omitempty"`
+}
+
+// CliqueParams mirrors the clique.Config knobs.
+type CliqueParams struct {
+	Xi      int     `json:"xi"`
+	Tau     float64 `json:"tau"`
+	MaxDims int     `json:"max_dims,omitempty"`
+}
+
+// SubmitResponse is the body of a successful POST /v1/jobs.
+type SubmitResponse struct {
+	Job JobView `json:"job"`
+}
+
+// JobView is the JSON representation of a job's current state.
+type JobView struct {
+	ID        string        `json:"id"`
+	State     JobState      `json:"state"`
+	Algorithm string        `json:"algorithm"`
+	Created   time.Time     `json:"created"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Progress  *ProgressView `json:"progress,omitempty"`
+	Error     string        `json:"error,omitempty"`
+
+	// CancelRequested reports that DELETE (or server drain) asked the
+	// job to stop; a running job keeps state "running" until the
+	// engine actually returns.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+}
+
+// ProgressView is the live position of a running FLOC job.
+type ProgressView struct {
+	// Attempt is the 1-based supervised attempt currently running.
+	Attempt int `json:"attempt"`
+	// Iteration counts improving iterations completed in this attempt.
+	Iteration int `json:"iteration"`
+	// AvgResidue is the attempt's best average residue so far.
+	AvgResidue float64 `json:"avg_residue"`
+}
+
+// ResultView is the body of GET /v1/jobs/{id}/result.
+type ResultView struct {
+	Algorithm string `json:"algorithm"`
+
+	// Partial reports a degraded result: the job was stopped (deadline
+	// or cancellation) and this is the best clustering found so far.
+	Partial bool `json:"partial,omitempty"`
+
+	AvgResidue     float64       `json:"avg_residue,omitempty"`
+	Iterations     int           `json:"iterations,omitempty"`
+	BestSeed       int64         `json:"best_seed,omitempty"`
+	Attempts       int           `json:"attempts,omitempty"`
+	DurationMillis int64         `json:"duration_ms"`
+	Clusters       []ClusterView `json:"clusters,omitempty"`
+
+	// Subspaces is set for clique jobs instead of Clusters.
+	Subspaces []SubspaceView `json:"subspaces,omitempty"`
+}
+
+// ClusterView is one δ-cluster or bicluster of a result.
+type ClusterView struct {
+	Rows    []int   `json:"rows"`
+	Cols    []int   `json:"cols"`
+	Volume  int     `json:"volume"`
+	Residue float64 `json:"residue"`
+}
+
+// SubspaceView is one CLIQUE subspace cluster.
+type SubspaceView struct {
+	Dims   []int `json:"dims"`
+	Points []int `json:"points"`
+}
+
+// ErrorBody is the JSON error envelope every non-2xx response uses.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is one machine-readable error.
+type ErrorDetail struct {
+	// Code is a stable identifier: invalid_request, not_found,
+	// queue_full, draining, job_not_done, job_failed, job_cancelled.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// Error codes of the API's error model.
+const (
+	CodeInvalidRequest = "invalid_request"
+	CodeNotFound       = "not_found"
+	CodeQueueFull      = "queue_full"
+	CodeDraining       = "draining"
+	CodeJobNotDone     = "job_not_done"
+	CodeJobFailed      = "job_failed"
+	CodeJobCancelled   = "job_cancelled"
+	CodeInternal       = "internal"
+)
+
+// apiError carries an HTTP status and a machine-readable code through
+// the request-validation path.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *apiError) Error() string { return e.message }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeInvalidRequest,
+		message: fmt.Sprintf(format, args...)}
+}
+
+// runSpec is a validated, immutable run plan: the parsed matrix and
+// fully-resolved engine configuration. It never changes after
+// buildSpec, so workers may read it without holding the store lock.
+type runSpec struct {
+	algorithm string
+	m         *matrix.Matrix
+	floc      floc.Config
+	attempts  int
+	bic       bicluster.Config
+	clq       clique.Config
+	deadline  time.Duration
+}
+
+// buildSpec validates a SubmitRequest against the server's limits and
+// resolves it to a run plan. All failures are 400s with a message
+// naming the offending field.
+func (s *Server) buildSpec(req *SubmitRequest) (*runSpec, *apiError) {
+	m, aerr := parseMatrix(&req.Matrix, s.opts.MaxMatrixEntries)
+	if aerr != nil {
+		return nil, aerr
+	}
+
+	spec := &runSpec{m: m, attempts: 1}
+
+	spec.deadline = s.opts.DefaultDeadline
+	if req.DeadlineMillis < 0 {
+		return nil, badRequest("deadline_ms = %d, want ≥ 0", req.DeadlineMillis)
+	}
+	if req.DeadlineMillis > 0 {
+		spec.deadline = time.Duration(req.DeadlineMillis) * time.Millisecond
+	}
+	if max := s.opts.MaxDeadline; max > 0 && (spec.deadline == 0 || spec.deadline > max) {
+		spec.deadline = max
+	}
+
+	algo := req.Algorithm
+	if algo == "" {
+		algo = AlgoFLOC
+	}
+	spec.algorithm = algo
+	switch algo {
+	case AlgoFLOC:
+		p := req.FLOC
+		if p == nil {
+			return nil, badRequest("algorithm %q needs a \"floc\" parameter block", algo)
+		}
+		if p.K < 1 {
+			return nil, badRequest("floc.k = %d, want ≥ 1", p.K)
+		}
+		if !(p.Delta > 0) {
+			return nil, badRequest("floc.delta = %v, want > 0", p.Delta)
+		}
+		cfg := floc.DefaultConfig(p.K, p.Delta)
+		cfg.Seed = p.Seed
+		cfg.ApproximateGain = p.ApproximateGain
+		if p.MaxIterations < 0 {
+			return nil, badRequest("floc.max_iterations = %d, want ≥ 0", p.MaxIterations)
+		}
+		if p.MaxIterations > 0 {
+			cfg.MaxIterations = p.MaxIterations
+		}
+		if p.Occupancy < 0 || p.Occupancy > 1 {
+			return nil, badRequest("floc.occupancy = %v, want in [0, 1]", p.Occupancy)
+		}
+		cfg.Constraints.Occupancy = p.Occupancy
+		switch p.Order {
+		case "", "weighted":
+			cfg.Order = floc.WeightedRandomOrder
+		case "random":
+			cfg.Order = floc.RandomOrder
+		case "fixed":
+			cfg.Order = floc.FixedOrder
+		default:
+			return nil, badRequest("floc.order = %q, want fixed | random | weighted", p.Order)
+		}
+		switch p.Seeding {
+		case "", "auto":
+			cfg.SeedMode = floc.SeedAuto
+		case "random":
+			cfg.SeedMode = floc.SeedRandom
+		case "anchored":
+			cfg.SeedMode = floc.SeedAnchored
+		default:
+			return nil, badRequest("floc.seeding = %q, want random | anchored | auto", p.Seeding)
+		}
+		if p.Attempts < 0 {
+			return nil, badRequest("floc.attempts = %d, want ≥ 0", p.Attempts)
+		}
+		if p.Attempts > 0 {
+			spec.attempts = p.Attempts
+		}
+		spec.floc = cfg
+	case AlgoBicluster:
+		p := req.Bicluster
+		if p == nil {
+			return nil, badRequest("algorithm %q needs a \"bicluster\" parameter block", algo)
+		}
+		if p.K < 1 {
+			return nil, badRequest("bicluster.k = %d, want ≥ 1", p.K)
+		}
+		if !(p.Delta >= 0) {
+			return nil, badRequest("bicluster.delta = %v, want ≥ 0", p.Delta)
+		}
+		spec.bic = bicluster.Config{K: p.K, Delta: p.Delta, Alpha: p.Alpha, Seed: p.Seed}
+	case AlgoClique:
+		p := req.Clique
+		if p == nil {
+			return nil, badRequest("algorithm %q needs a \"clique\" parameter block", algo)
+		}
+		if p.Xi < 1 {
+			return nil, badRequest("clique.xi = %d, want ≥ 1", p.Xi)
+		}
+		if !(p.Tau > 0 && p.Tau <= 1) {
+			return nil, badRequest("clique.tau = %v, want in (0, 1]", p.Tau)
+		}
+		spec.clq = clique.Config{Xi: p.Xi, Tau: p.Tau, MaxDims: p.MaxDims}
+	default:
+		return nil, badRequest("algorithm = %q, want floc | bicluster | clique", algo)
+	}
+	return spec, nil
+}
+
+// parseMatrix decodes whichever matrix encoding the payload carries.
+func parseMatrix(p *MatrixPayload, maxEntries int) (*matrix.Matrix, *apiError) {
+	switch {
+	case len(p.Rows) > 0 && p.CSV != "":
+		return nil, badRequest("matrix: set exactly one of \"rows\" and \"csv\", not both")
+	case len(p.Rows) > 0:
+		cols := len(p.Rows[0])
+		if cols == 0 {
+			return nil, badRequest("matrix.rows[0] is empty; need at least one column")
+		}
+		if maxEntries > 0 && len(p.Rows)*cols > maxEntries {
+			return nil, badRequest("matrix is %dx%d = %d entries; the server caps jobs at %d",
+				len(p.Rows), cols, len(p.Rows)*cols, maxEntries)
+		}
+		rows := make([][]float64, len(p.Rows))
+		for i, r := range p.Rows {
+			if len(r) != cols {
+				return nil, badRequest("matrix.rows[%d] has %d entries, want %d", i, len(r), cols)
+			}
+			row := make([]float64, cols)
+			for j, v := range r {
+				if v == nil {
+					row[j] = math.NaN()
+					continue
+				}
+				if math.IsInf(*v, 0) || math.IsNaN(*v) {
+					return nil, badRequest("matrix.rows[%d][%d] is not finite", i, j)
+				}
+				row[j] = *v
+			}
+			rows[i] = row
+		}
+		m, err := matrix.NewFromRows(rows)
+		if err != nil {
+			return nil, badRequest("matrix: %v", err)
+		}
+		return m, nil
+	case p.CSV != "":
+		m, err := matrix.Read(strings.NewReader(p.CSV), matrix.IOOptions{})
+		if err != nil {
+			return nil, badRequest("matrix.csv: %v", err)
+		}
+		if maxEntries > 0 && m.Rows()*m.Cols() > maxEntries {
+			return nil, badRequest("matrix is %dx%d = %d entries; the server caps jobs at %d",
+				m.Rows(), m.Cols(), m.Rows()*m.Cols(), maxEntries)
+		}
+		return m, nil
+	default:
+		return nil, badRequest("matrix: need \"rows\" or \"csv\"")
+	}
+}
+
+// writeJSON renders v with the given status. Encoding errors are
+// unrecoverable mid-response and are ignored by design.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders the error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServiceThroughput measures end-to-end jobs per second
+// through the HTTP surface: each op submits a real (tiny) FLOC job
+// over the wire and polls it to completion. The pool runs at its
+// default width, so the figure reflects the whole path — JSON decode,
+// validation, queueing, a genuine engine run, store bookkeeping and
+// the result fetch — not just the engine.
+func BenchmarkServiceThroughput(b *testing.B) {
+	s := New(Options{Workers: 4, QueueCap: 4096, TTL: time.Hour})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	// A fixed 12x6 matrix with an obvious 3x3 shifted block: big
+	// enough to exercise the full FLOC pipeline, small enough that the
+	// service overhead is visible next to it.
+	rows := make([][]float64, 12)
+	for i := range rows {
+		rows[i] = make([]float64, 6)
+		for j := range rows[i] {
+			rows[i][j] = float64((i*7+j*13)%10) * 50
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			rows[i][j] = float64(i*10 + j*5)
+		}
+	}
+	payload := make([][]*float64, len(rows))
+	for i, r := range rows {
+		pr := make([]*float64, len(r))
+		for j := range r {
+			v := r[j]
+			pr[j] = &v
+		}
+		payload[i] = pr
+	}
+	req := SubmitRequest{
+		Algorithm: AlgoFLOC,
+		Matrix:    MatrixPayload{Rows: payload},
+		FLOC:      &FLOCParams{K: 2, Delta: 40, Seed: 3},
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sr SubmitResponse
+			err = json.NewDecoder(resp.Body).Decode(&sr)
+			_ = resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusAccepted {
+				b.Fatalf("submit: status %d, err %v", resp.StatusCode, err)
+			}
+			id := sr.Job.ID
+			for {
+				resp, err := client.Get(ts.URL + "/v1/jobs/" + id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var v JobView
+				err = json.NewDecoder(resp.Body).Decode(&v)
+				_ = resp.Body.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.State.terminal() {
+					if v.State != StateDone {
+						b.Fatalf("job %s finished %s (error %q)", id, v.State, v.Error)
+					}
+					break
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+}
+
+// BenchmarkSubmitValidation measures the synchronous submission path
+// alone (decode + validate + enqueue + respond), with the engines
+// stubbed to instant completion.
+func BenchmarkSubmitValidation(b *testing.B) {
+	s := New(Options{Workers: 4, QueueCap: 1 << 20, TTL: time.Hour})
+	s.runHook = func(_ context.Context, _ *runSpec) (*ResultView, error) {
+		return &ResultView{Algorithm: AlgoFLOC}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	v := 1.5
+	req := SubmitRequest{
+		Matrix: MatrixPayload{Rows: [][]*float64{{&v, &v}, {&v, &v}}},
+		FLOC:   &FLOCParams{K: 1, Delta: 5},
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit: status %d", resp.StatusCode)
+		}
+	}
+}

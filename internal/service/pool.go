@@ -1,0 +1,261 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"deltacluster/internal/bicluster"
+	"deltacluster/internal/clique"
+	"deltacluster/internal/cluster"
+	"deltacluster/internal/floc"
+	"deltacluster/internal/resilience"
+)
+
+// worker is one slot of the bounded pool: it consumes job IDs until
+// the queue is closed by Shutdown. The pool size is the hard cap on
+// concurrently running engines — submission never spawns goroutines.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for id := range s.queue {
+		s.runJob(id)
+	}
+}
+
+// runJob executes one queued job end to end: claim, run under the
+// job's own context, map the outcome to a terminal state, and flush
+// any interrupted-run checkpoint.
+func (s *Server) runJob(id string) {
+	if s.Draining() {
+		// Drain semantics: jobs that never started are cancelled, not
+		// run — only in-flight work gets the grace period.
+		if _, fromQueue, ok := s.store.requestCancel(id); ok && fromQueue {
+			s.metrics.jobCancelledQueued()
+			s.logf("deltaserve: job %s cancelled by drain before start", id)
+		}
+		return
+	}
+	spec := s.store.specOf(id)
+	if spec == nil {
+		return
+	}
+
+	ctx, cancel := jobContext(spec)
+	if !s.store.start(id, cancel) {
+		// Cancelled while queued (or evicted); nothing to run.
+		cancel()
+		return
+	}
+	s.metrics.jobStarted()
+	started := time.Now()
+
+	view, err := s.execute(ctx, id, spec)
+	cancel()
+
+	state, view, errMsg := s.outcome(id, view, err)
+	s.store.finish(id, state, view, errMsg)
+	s.metrics.jobFinished(state, time.Since(started))
+	s.logf("deltaserve: job %s %s after %v", id, state, time.Since(started).Round(time.Millisecond))
+
+	if state == StateCancelled || (view != nil && view.Partial) {
+		s.flushCheckpoint(id)
+	}
+}
+
+// jobContext builds the per-job context: cancellable always, and
+// deadline-bounded when the spec asks for one.
+func jobContext(spec *runSpec) (context.Context, context.CancelFunc) {
+	if spec.deadline > 0 {
+		return context.WithTimeout(context.Background(), spec.deadline)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// execute dispatches to the engine (or the test hook), converting a
+// panic into an error so one poisoned job cannot take down a worker.
+func (s *Server) execute(ctx context.Context, id string, spec *runSpec) (view *ResultView, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			view, err = nil, fmt.Errorf("engine panicked: %v", r)
+		}
+	}()
+	if s.runHook != nil {
+		return s.runHook(ctx, spec)
+	}
+	switch spec.algorithm {
+	case AlgoFLOC:
+		return s.runFLOC(ctx, id, spec)
+	case AlgoBicluster:
+		return runBicluster(ctx, spec)
+	case AlgoClique:
+		return runClique(ctx, spec)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", spec.algorithm)
+	}
+}
+
+// outcome maps an engine return to the job's terminal state. The
+// rules, in order:
+//
+//   - complete result, no error → done;
+//   - partial result + cancellation requested → cancelled, result kept;
+//   - partial result otherwise (deadline) → done, marked partial;
+//   - no result + cancellation requested → cancelled;
+//   - no result otherwise → failed.
+func (s *Server) outcome(id string, view *ResultView, err error) (JobState, *ResultView, string) {
+	cancelRequested := s.store.cancelRequestedOf(id)
+	switch {
+	case err == nil && view != nil:
+		return StateDone, view, ""
+	case view != nil:
+		view.Partial = true
+		if cancelRequested {
+			return StateCancelled, view, err.Error()
+		}
+		return StateDone, view, ""
+	case err == nil:
+		return StateFailed, nil, "engine returned no result"
+	case cancelRequested:
+		return StateCancelled, nil, err.Error()
+	default:
+		return StateFailed, nil, err.Error()
+	}
+}
+
+// flushCheckpoint persists an interrupted FLOC job's last resumable
+// checkpoint to the checkpoint directory, so a drain-interrupted run
+// can be finished offline with `floc -resume`.
+func (s *Server) flushCheckpoint(id string) {
+	if s.opts.CheckpointDir == "" {
+		return
+	}
+	ck := s.store.takeCheckpoint(id)
+	if ck == nil {
+		return
+	}
+	path := filepath.Join(s.opts.CheckpointDir, id+".dckp")
+	if err := floc.WriteCheckpointFile(path, ck); err != nil {
+		s.logf("deltaserve: flushing checkpoint for job %s: %v", id, err)
+		return
+	}
+	s.logf("deltaserve: job %s checkpoint flushed to %s", id, path)
+}
+
+// runFLOC executes a FLOC job as a supervised campaign: spec.attempts
+// restart attempts over rotated seeds, panic isolation, and graceful
+// degradation — exactly the resilience machinery cmd/experiments
+// uses, now one-per-job. Live progress and interrupted-attempt
+// checkpoints are threaded into the store as they happen.
+func (s *Server) runFLOC(ctx context.Context, id string, spec *runSpec) (*ResultView, error) {
+	var attemptN int64
+	run := func(ctx context.Context, seed int64) (*floc.Result, error) {
+		n := int(atomic.AddInt64(&attemptN, 1))
+		cfg := spec.floc
+		cfg.Seed = seed
+		res, err := floc.RunWithOptions(ctx, spec.m, cfg, floc.RunOptions{
+			OnProgress: func(p floc.Progress) {
+				s.store.setProgress(id, ProgressView{
+					Attempt:    n,
+					Iteration:  p.Iteration,
+					AvgResidue: p.AvgResidue,
+				})
+			},
+		})
+		if err != nil {
+			var pr *floc.PartialResult
+			if errors.As(err, &pr) && pr.Checkpoint != nil {
+				s.store.setCheckpoint(id, pr.Checkpoint)
+			}
+		}
+		return res, err
+	}
+	rep, err := resilience.Supervise(ctx, resilience.Policy{
+		Attempts: spec.attempts,
+		Seed:     spec.floc.Seed,
+		Logf:     s.opts.Logf,
+	}, run)
+	if err != nil {
+		return nil, err
+	}
+	view := &ResultView{
+		Algorithm:      AlgoFLOC,
+		AvgResidue:     rep.Best.AvgResidue,
+		Iterations:     rep.Best.Iterations,
+		BestSeed:       rep.BestSeed,
+		Attempts:       len(rep.Attempts),
+		DurationMillis: rep.Best.Duration.Milliseconds(),
+		Clusters:       clusterViews(rep.Best.Clusters),
+	}
+	if rep.Degraded {
+		view.Partial = true
+		// Surface the context's cause so outcome() can tell an
+		// explicit cancel from a deadline; a degraded-but-complete
+		// campaign (nil ctx error) still counts as done.
+		if cerr := ctx.Err(); cerr != nil {
+			return view, cerr
+		}
+	}
+	return view, nil
+}
+
+func runBicluster(ctx context.Context, spec *runSpec) (*ResultView, error) {
+	res, err := bicluster.RunContext(ctx, spec.m, spec.bic)
+	if err != nil {
+		var pr *bicluster.PartialResult
+		if errors.As(err, &pr) && pr.Result != nil && len(pr.Result.Biclusters) > 0 {
+			return biclusterView(pr.Result), err
+		}
+		return nil, err
+	}
+	return biclusterView(res), nil
+}
+
+func biclusterView(res *bicluster.Result) *ResultView {
+	return &ResultView{
+		Algorithm:      AlgoBicluster,
+		DurationMillis: res.Duration.Milliseconds(),
+		Clusters:       clusterViews(res.Biclusters),
+	}
+}
+
+func runClique(ctx context.Context, spec *runSpec) (*ResultView, error) {
+	res, err := clique.RunContext(ctx, spec.m, spec.clq)
+	if err != nil {
+		var pr *clique.PartialResult
+		if errors.As(err, &pr) && pr.Result != nil && len(pr.Result.Clusters) > 0 {
+			return cliqueView(pr.Result), err
+		}
+		return nil, err
+	}
+	return cliqueView(res), nil
+}
+
+func cliqueView(res *clique.Result) *ResultView {
+	v := &ResultView{
+		Algorithm:      AlgoClique,
+		DurationMillis: res.Duration.Milliseconds(),
+		Subspaces:      make([]SubspaceView, 0, len(res.Clusters)),
+	}
+	for _, c := range res.Clusters {
+		v.Subspaces = append(v.Subspaces, SubspaceView{Dims: c.Dims, Points: c.Points})
+	}
+	return v
+}
+
+// clusterViews renders clusters in the engine's reported order.
+func clusterViews(clusters []*cluster.Cluster) []ClusterView {
+	out := make([]ClusterView, 0, len(clusters))
+	for _, c := range clusters {
+		spec := c.Spec()
+		out = append(out, ClusterView{
+			Rows:    spec.Rows,
+			Cols:    spec.Cols,
+			Volume:  c.Volume(),
+			Residue: c.Residue(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"deltacluster/internal/floc"
+	"deltacluster/internal/stats"
+)
+
+// JobState is the lifecycle position of a job.
+//
+//	queued ──► running ──► done
+//	   │           ├─────► failed
+//	   └───────────┴─────► cancelled
+//
+// done, failed and cancelled are terminal; terminal jobs are evicted
+// TTL after they finish.
+type JobState string
+
+// Job states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// terminal reports whether a job in this state will never change
+// again.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// job is the store's record of one submission. All mutable fields are
+// guarded by the store's mutex; spec is immutable after creation and
+// may be read lock-free.
+type job struct {
+	id       string
+	spec     *runSpec
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	progress    ProgressView
+	hasProgress bool
+
+	result *ResultView
+	errMsg string
+
+	// cancel stops the running engine; nil unless state == running.
+	cancel context.CancelFunc
+	// cancelRequested records that DELETE or a server drain asked the
+	// job to stop, which is what distinguishes "cancelled" from
+	// "failed by deadline" when the engine returns a context error.
+	cancelRequested bool
+
+	// checkpoint is the last resumable FLOC checkpoint an interrupted
+	// attempt produced; Shutdown flushes it to the checkpoint
+	// directory.
+	checkpoint *floc.Checkpoint
+}
+
+// store is the in-memory job table: deterministic IDs from a seeded
+// RNG, TTL eviction of terminal jobs, and mutex-guarded mutation. It
+// owns no goroutines; eviction happens lazily on access and on every
+// submission sweep.
+type store struct {
+	mu   sync.Mutex
+	rng  *stats.RNG
+	ttl  time.Duration
+	now  func() time.Time
+	jobs map[string]*job
+}
+
+func newJobStore(seed int64, ttl time.Duration, now func() time.Time) *store {
+	return &store{
+		rng:  stats.NewRNG(seed),
+		ttl:  ttl,
+		now:  now,
+		jobs: make(map[string]*job),
+	}
+}
+
+// create registers a new queued job and returns its ID. IDs are drawn
+// from the store's seeded RNG, so a server's ID sequence is a pure
+// function of its seed — replayable in tests and log-correlatable
+// across restarts with the same seed.
+func (st *store) create(spec *runSpec) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var id string
+	for {
+		id = fmt.Sprintf("j%016x", uint64(st.rng.Int63()))
+		if _, taken := st.jobs[id]; !taken {
+			break
+		}
+	}
+	st.jobs[id] = &job{
+		id:      id,
+		spec:    spec,
+		state:   StateQueued,
+		created: st.now(),
+	}
+	return id
+}
+
+// drop removes a job outright (submission rollback when the queue
+// rejects it).
+func (st *store) drop(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.jobs, id)
+}
+
+// spec returns the job's immutable run plan, or nil if the job is
+// gone.
+func (st *store) specOf(id string) *runSpec {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return nil
+	}
+	return j.spec
+}
+
+// start transitions a queued job to running, recording the engine's
+// cancel function. It reports false — and does not transition — when
+// the job is gone or no longer queued (e.g. cancelled while waiting),
+// or when cancellation was requested before the worker picked it up.
+func (st *store) start(id string, cancel context.CancelFunc) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil || j.state != StateQueued || j.cancelRequested {
+		return false
+	}
+	j.state = StateRunning
+	j.started = st.now()
+	j.cancel = cancel
+	return true
+}
+
+// finish moves a job to a terminal state with its outcome. The
+// engine's cancel function is dropped; the caller releases the
+// context. Finishing a job that was already terminal or evicted is a
+// no-op.
+func (st *store) finish(id string, state JobState, result *ResultView, errMsg string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil || j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.finished = st.now()
+	j.result = result
+	j.errMsg = errMsg
+	j.cancel = nil
+}
+
+// requestCancel marks the job cancelled-on-request. A queued job
+// becomes terminal immediately (the worker will skip it; fromQueue
+// reports that transition so the caller can count it); a running job
+// has its engine context cancelled and keeps state "running" until
+// the engine returns. The returned view reflects the post-request
+// state; ok is false when the job is gone.
+func (st *store) requestCancel(id string) (view JobView, fromQueue, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return JobView{}, false, false
+	}
+	if !j.state.terminal() {
+		j.cancelRequested = true
+		if j.state == StateQueued {
+			j.state = StateCancelled
+			j.finished = st.now()
+			j.errMsg = "cancelled before start"
+			fromQueue = true
+		} else if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.viewLocked(), fromQueue, true
+}
+
+// setProgress records a running job's live position.
+func (st *store) setProgress(id string, p ProgressView) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j := st.jobs[id]; j != nil {
+		j.progress = p
+		j.hasProgress = true
+	}
+}
+
+// setCheckpoint records the latest resumable checkpoint an
+// interrupted FLOC attempt produced.
+func (st *store) setCheckpoint(id string, ck *floc.Checkpoint) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j := st.jobs[id]; j != nil {
+		j.checkpoint = ck
+	}
+}
+
+// takeCheckpoint returns and clears the job's pending checkpoint.
+func (st *store) takeCheckpoint(id string) *floc.Checkpoint {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return nil
+	}
+	ck := j.checkpoint
+	j.checkpoint = nil
+	return ck
+}
+
+// cancelRequested reports whether the job was asked to stop.
+func (st *store) cancelRequestedOf(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	return j != nil && j.cancelRequested
+}
+
+// view snapshots a job for JSON rendering, evicting it first if its
+// TTL expired — the caller then sees the same 404 an earlier sweep
+// would have produced.
+func (st *store) view(id string) (JobView, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return JobView{}, false
+	}
+	if st.expiredLocked(j) {
+		delete(st.jobs, id)
+		return JobView{}, false
+	}
+	return j.viewLocked(), true
+}
+
+// result returns the job's result view, with the same lazy eviction
+// as view.
+func (st *store) result(id string) (res *ResultView, view JobView, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return nil, JobView{}, false
+	}
+	if st.expiredLocked(j) {
+		delete(st.jobs, id)
+		return nil, JobView{}, false
+	}
+	return j.result, j.viewLocked(), true
+}
+
+// sweep evicts every terminal job whose TTL expired. Iteration order
+// over the map does not affect the outcome (each job is judged
+// independently), but the IDs are sorted anyway to honor the
+// package's determinism discipline.
+func (st *store) sweep() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]string, 0, len(st.jobs))
+	for id := range st.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if st.expiredLocked(st.jobs[id]) {
+			delete(st.jobs, id)
+		}
+	}
+}
+
+// countByState tallies the stored (non-evicted) jobs per state.
+func (st *store) countByState() map[JobState]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	counts := make(map[JobState]int)
+	ids := make([]string, 0, len(st.jobs))
+	for id := range st.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		counts[st.jobs[id].state]++
+	}
+	return counts
+}
+
+// cancelAllRunning cancels the engine context of every running job
+// and marks the cancellation as requested (shutdown drain expiry).
+func (st *store) cancelAllRunning() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]string, 0, len(st.jobs))
+	for id := range st.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := st.jobs[id]
+		if j.state == StateRunning {
+			j.cancelRequested = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+	}
+}
+
+// expiredLocked reports whether a terminal job has outlived the TTL.
+func (st *store) expiredLocked(j *job) bool {
+	return st.ttl > 0 && j.state.terminal() && st.now().Sub(j.finished) > st.ttl
+}
+
+// viewLocked renders the job; the store lock must be held.
+func (j *job) viewLocked() JobView {
+	v := JobView{
+		ID:              j.id,
+		State:           j.state,
+		Algorithm:       j.spec.algorithm,
+		Created:         j.created,
+		Error:           j.errMsg,
+		CancelRequested: j.cancelRequested,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.hasProgress {
+		p := j.progress
+		v.Progress = &p
+	}
+	return v
+}
