@@ -1,0 +1,161 @@
+// Command benchdiff compares a fresh `go test -bench` run against a
+// recorded baseline (BENCH_floc.json, BENCH_service.json, ...) and
+// exits non-zero when any benchmark regresses beyond the tolerance.
+//
+// Usage:
+//
+//	go test -run XXX -bench BenchmarkDecideAll ./internal/floc/ | benchdiff -baseline BENCH_floc.json
+//	benchdiff -baseline BENCH_floc.json -input bench.out -tolerance 1.5
+//
+// The comparison is on ns/op. Benchmark names are matched after
+// stripping the -GOMAXPROCS suffix go test appends on multi-core
+// machines, so a baseline recorded at one core count checks runs at
+// any other. Baseline entries absent from the input are reported but
+// do not fail the run (partial -bench filters are normal); input
+// benchmarks absent from the baseline are listed as unrecorded.
+//
+// Benchmark timings on shared CI runners are noisy, so the default
+// tolerance is generous (+30%) and the CI step that runs this tool is
+// advisory (continue-on-error). The tool's job is to surface order-of-
+// magnitude regressions — an accidentally quadratic decide phase, a
+// lock on the hot path — not 5% drift.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	Suite      string `json:"suite"`
+	Command    string `json:"command"`
+	Recorded   string `json:"recorded"`
+	Note       string `json:"note,omitempty"`
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches go test -bench output:
+//
+//	BenchmarkDecideAll/workers=2-8   918   3851067 ns/op   166448 B/op   113 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// procSuffix is the -GOMAXPROCS suffix appended on multi-core runs.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "recorded baseline JSON (required)")
+	inputPath := flag.String("input", "-", "bench output to check ('-' = stdin)")
+	tolerance := flag.Float64("tolerance", 1.30, "max allowed ns/op ratio current/baseline")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tolerance <= 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: tolerance %v, want > 0\n", *tolerance)
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, order, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	recorded := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		recorded[b.Name] = b.NsPerOp
+	}
+
+	fmt.Printf("baseline %s (%s, recorded %s), tolerance %.2fx\n",
+		*baselinePath, base.Suite, base.Recorded, *tolerance)
+	regressions := 0
+	for _, name := range order {
+		ns := current[name]
+		want, ok := recorded[name]
+		if !ok {
+			fmt.Printf("  %-45s %12.0f ns/op  (not in baseline)\n", name, ns)
+			continue
+		}
+		ratio := ns / want
+		verdict := "ok"
+		if ratio > *tolerance {
+			verdict = "REGRESSION"
+			regressions++
+		} else if ratio < 1/(*tolerance) {
+			verdict = "improved"
+		}
+		fmt.Printf("  %-45s %12.0f ns/op  baseline %12.0f  ratio %.2fx  %s\n",
+			name, ns, want, ratio, verdict)
+	}
+	for _, b := range base.Benchmarks {
+		if _, ok := current[b.Name]; !ok {
+			fmt.Printf("  %-45s (in baseline, not run)\n", b.Name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.2fx\n", regressions, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// parseBench extracts name → ns/op from go test -bench output,
+// normalizing away the -GOMAXPROCS name suffix. It returns the names
+// in input order so the report is stable.
+func parseBench(r io.Reader) (map[string]float64, []string, error) {
+	out := map[string]float64{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		if _, dup := out[name]; !dup {
+			order = append(order, name)
+		}
+		out[name] = ns
+	}
+	return out, order, sc.Err()
+}

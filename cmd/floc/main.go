@@ -48,6 +48,7 @@ func main() {
 		order     = flag.String("order", "weighted", "action order: fixed | random | weighted")
 		seedMode  = flag.String("seeding", "auto", "seeding: random | anchored | auto")
 		maxIter   = flag.Int("maxiter", 200, "iteration cap")
+		workers   = flag.Int("workers", 0, "goroutines for the decide phase (0 = all cores); the result is bit-identical at any value")
 		tsv       = flag.Bool("tsv", false, "tab-separated input")
 		header    = flag.Bool("header", false, "first record holds column labels")
 		rowLabels = flag.Bool("rowlabels", false, "first field of each record is a row label")
@@ -118,6 +119,10 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MaxIterations = *maxIter
 	cfg.Constraints.Occupancy = *alpha
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers = %d, want ≥ 0", *workers))
+	}
+	cfg.Workers = *workers
 	switch *order {
 	case "fixed":
 		cfg.Order = deltacluster.FixedOrder

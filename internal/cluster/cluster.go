@@ -299,6 +299,112 @@ func (c *Cluster) RemoveCol(j int) {
 	c.colCnt[j] = 0
 }
 
+// ToggleUndo captures the exact bits one membership toggle disturbs,
+// so the toggle can be reversed bit-for-bit. A plain toggle-back is
+// NOT such a reversal: float sums do not round-trip ((x+v)−v ≠ x in
+// general) and removing a member swaps it with the last one, so a
+// remove-then-re-add permutes internal member order and every later
+// aggregate accumulates in a different sequence. Speculative gain
+// evaluation — score a toggle, then pretend it never happened — needs
+// the exact reversal: it makes each evaluation a pure function of the
+// cluster's frozen state, independent of how many evaluations ran
+// before it or on which goroutine (the property the FLOC parallel
+// decide phase is built on).
+//
+// The zero value is ready to use; the capture buffer is reused across
+// Save/Undo pairs, so one ToggleUndo per evaluator goroutine amortizes
+// to zero allocations. A ToggleUndo must not be shared concurrently.
+type ToggleUndo struct {
+	sums    []float64 // cross-axis member sums in internal order (colSum for a row toggle, rowSum for a column toggle)
+	total   float64
+	itemSum float64
+	itemCnt int
+	pos     int
+	member  bool
+}
+
+// SaveRowToggle records in u everything a ToggleRow(i) will disturb.
+// Call it immediately before the toggle; UndoRowToggle then restores
+// the cluster bit-for-bit.
+func (c *Cluster) SaveRowToggle(i int, u *ToggleUndo) {
+	u.member = c.rowPos[i] >= 0
+	u.pos = c.rowPos[i]
+	u.itemSum = c.rowSum[i]
+	u.itemCnt = c.rowCnt[i]
+	u.total = c.total
+	u.sums = u.sums[:0]
+	for _, j := range c.memberCols {
+		u.sums = append(u.sums, c.colSum[j])
+	}
+}
+
+// UndoRowToggle exactly reverses the ToggleRow(i) that followed
+// SaveRowToggle(i, u): membership, internal member order and every
+// guarded aggregate are restored to the saved bits (deltavet:writer).
+// The counts and the volume reverse exactly under integer arithmetic;
+// the float sums are overwritten from the capture because addition
+// does not round-trip.
+func (c *Cluster) UndoRowToggle(i int, u *ToggleUndo) {
+	if u.member {
+		// The toggle removed row i (swapping it with the last member);
+		// re-add it and swap it back to its original position.
+		c.AddRow(i)
+		last := len(c.memberRows) - 1
+		moved := c.memberRows[u.pos]
+		c.memberRows[u.pos] = i
+		c.memberRows[last] = moved
+		c.rowPos[i] = u.pos
+		c.rowPos[moved] = last
+		c.rowSum[i] = u.itemSum
+		c.rowCnt[i] = u.itemCnt
+	} else {
+		// The toggle appended row i; removing the last member restores
+		// order exactly, and a non-member's rowSum/rowCnt are zero by
+		// invariant.
+		c.RemoveRow(i)
+	}
+	for k, j := range c.memberCols {
+		c.colSum[j] = u.sums[k]
+	}
+	c.total = u.total
+}
+
+// SaveColToggle records in u everything a ToggleCol(j) will disturb;
+// see SaveRowToggle.
+func (c *Cluster) SaveColToggle(j int, u *ToggleUndo) {
+	u.member = c.colPos[j] >= 0
+	u.pos = c.colPos[j]
+	u.itemSum = c.colSum[j]
+	u.itemCnt = c.colCnt[j]
+	u.total = c.total
+	u.sums = u.sums[:0]
+	for _, i := range c.memberRows {
+		u.sums = append(u.sums, c.rowSum[i])
+	}
+}
+
+// UndoColToggle exactly reverses the ToggleCol(j) that followed
+// SaveColToggle(j, u) (deltavet:writer); see UndoRowToggle.
+func (c *Cluster) UndoColToggle(j int, u *ToggleUndo) {
+	if u.member {
+		c.AddCol(j)
+		last := len(c.memberCols) - 1
+		moved := c.memberCols[u.pos]
+		c.memberCols[u.pos] = j
+		c.memberCols[last] = moved
+		c.colPos[j] = u.pos
+		c.colPos[moved] = last
+		c.colSum[j] = u.itemSum
+		c.colCnt[j] = u.itemCnt
+	} else {
+		c.RemoveCol(j)
+	}
+	for k, i := range c.memberRows {
+		c.rowSum[i] = u.sums[k]
+	}
+	c.total = u.total
+}
+
 // ToggleRow adds row i if absent and removes it otherwise — the
 // paper's Action(x, c) for a row (Section 4.1).
 func (c *Cluster) ToggleRow(i int) {

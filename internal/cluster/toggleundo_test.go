@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stats"
+)
+
+// exactBits captures every field of the cluster that any later
+// computation can observe, with floats rendered as raw bit patterns:
+// membership vectors in internal order, position indexes, counts, and
+// the incremental sums. Two clusters with equal exactBits behave
+// identically under every future operation — including the order in
+// which swap-with-last removals will permute members.
+func exactBits(c *Cluster) string {
+	bits := func(xs []float64) []uint64 {
+		out := make([]uint64, len(xs))
+		for i, x := range xs {
+			out[i] = math.Float64bits(x)
+		}
+		return out
+	}
+	return fmt.Sprintf("mr=%v mc=%v rp=%v cp=%v vol=%d rc=%v cc=%v rs=%x cs=%x tot=%x",
+		c.memberRows, c.memberCols, c.rowPos, c.colPos, c.volume,
+		c.rowCnt, c.colCnt, bits(c.rowSum), bits(c.colSum),
+		math.Float64bits(c.total))
+}
+
+// TestToggleUndoRestoresExactBits is the purity property the parallel
+// FLOC decide phase stands on: for any cluster state and any item, a
+// Save/Toggle/Undo round trip restores the cluster bit-for-bit — not
+// merely to a numerically close state. A plain toggle-back cannot do
+// this: float sums fail to round-trip ((x+v)−v ≠ x in general) and
+// removals permute internal member order.
+func TestToggleUndoRestoresExactBits(t *testing.T) {
+	f := func(seed int64) bool {
+		g := stats.NewRNG(seed)
+		rows := g.UniformInt(2, 9)
+		cols := g.UniformInt(2, 9)
+		m := matrix.New(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if g.Bool(0.8) {
+					m.Set(i, j, g.Uniform(-50, 50))
+				}
+			}
+		}
+		c := New(m)
+		var u ToggleUndo
+		// Interleave committed toggles (which evolve the state, drift
+		// and all) with save/toggle/undo probes that must round-trip.
+		for step := 0; step < 80; step++ {
+			isRow := g.Bool(0.5)
+			if g.Bool(0.5) { // commit: evolve the state
+				if isRow {
+					c.ToggleRow(g.Intn(rows))
+				} else {
+					c.ToggleCol(g.Intn(cols))
+				}
+				continue
+			}
+			before := exactBits(c)
+			if isRow {
+				i := g.Intn(rows)
+				c.SaveRowToggle(i, &u)
+				c.ToggleRow(i)
+				c.UndoRowToggle(i, &u)
+			} else {
+				j := g.Intn(cols)
+				c.SaveColToggle(j, &u)
+				c.ToggleCol(j)
+				c.UndoColToggle(j, &u)
+			}
+			if after := exactBits(c); after != before {
+				t.Logf("seed %d step %d (isRow=%v):\nbefore %s\nafter  %s",
+					seed, step, isRow, before, after)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestToggleUndoRestoresMemberOrder pins the subtlest part of the
+// round trip: RemoveRow swaps the removed member with the last one, so
+// after Toggle (removal) + re-add the member order is permuted; Undo
+// must swap the member back to its saved position.
+func TestToggleUndoRestoresMemberOrder(t *testing.T) {
+	m := matrix.New(10, 6)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, float64(i*7+j))
+		}
+	}
+	c := New(m)
+	for _, i := range []int{5, 2, 8, 0} {
+		c.AddRow(i)
+	}
+	for _, j := range []int{3, 1, 4} {
+		c.AddCol(j)
+	}
+	var u ToggleUndo
+	// Remove from the middle of the member list and undo.
+	c.SaveRowToggle(2, &u)
+	c.ToggleRow(2)
+	c.UndoRowToggle(2, &u)
+	if got := fmt.Sprint(c.OrderedRows()); got != "[5 2 8 0]" {
+		t.Errorf("member rows after remove+undo = %s, want [5 2 8 0]", got)
+	}
+	c.SaveColToggle(1, &u)
+	c.ToggleCol(1)
+	c.UndoColToggle(1, &u)
+	if got := fmt.Sprint(c.OrderedCols()); got != "[3 1 4]" {
+		t.Errorf("member cols after remove+undo = %s, want [3 1 4]", got)
+	}
+	// Insertion round trip: a non-member is appended last, so undo is a
+	// plain removal — but the sums must still come back bit-exact.
+	before := exactBits(c)
+	c.SaveRowToggle(7, &u)
+	c.ToggleRow(7)
+	c.UndoRowToggle(7, &u)
+	if after := exactBits(c); after != before {
+		t.Errorf("insertion round trip changed state:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+// TestToggleUndoWithMissingValues exercises the round trip where the
+// toggled item's entries are partially or fully missing — the
+// all-missing row has zero contribution to every sum, and its
+// removal/insertion must still round-trip (including the rowCnt = 0
+// bookkeeping the occupancy check reads).
+func TestToggleUndoWithMissingValues(t *testing.T) {
+	nan := math.NaN()
+	m, err := matrix.NewFromRows([][]float64{
+		{1, nan, 3, 4},
+		{nan, nan, nan, nan},
+		{2, 5, nan, 1},
+		{7, 8, 9, nan},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := FromSpec(m, []int{0, 1, 2}, []int{0, 1, 3})
+	var u ToggleUndo
+	for _, tc := range []struct {
+		name  string
+		isRow bool
+		idx   int
+	}{
+		{"all-missing-member-row-removal", true, 1},
+		{"partial-row-removal", true, 0},
+		{"non-member-row-insertion", true, 3},
+		{"member-col-removal", false, 1},
+		{"non-member-col-insertion", false, 2},
+	} {
+		before := exactBits(c)
+		if tc.isRow {
+			c.SaveRowToggle(tc.idx, &u)
+			c.ToggleRow(tc.idx)
+			c.UndoRowToggle(tc.idx, &u)
+		} else {
+			c.SaveColToggle(tc.idx, &u)
+			c.ToggleCol(tc.idx)
+			c.UndoColToggle(tc.idx, &u)
+		}
+		if after := exactBits(c); after != before {
+			t.Errorf("%s: round trip changed state:\nbefore %s\nafter  %s", tc.name, before, after)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package floc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchEngine builds a phase-1-seeded engine over a 500×60 planted
+// matrix with missing values — the decide phase then scores
+// (500+60)·K candidate actions per call, the workload the parallel
+// sharding targets. Seeding is deterministic, so every benchmark run
+// decides over the identical state.
+func benchEngine(b *testing.B, workers int) *engine {
+	b.Helper()
+	m := plantedMissingMatrix(b, 97, 500, 60, 5, 800, 0.05)
+	cfg := Config{
+		K: 5, GainPolicy: VolumeGain, MaxResidue: 3,
+		SeedMode: SeedRandom, SeedProbability: 0.1,
+		Constraints: Constraints{MinRows: 2, MinCols: 2, MaxOverlap: -1},
+		Seed:        42, Workers: workers,
+	}
+	if err := cfg.validate(m.Rows(), m.Cols()); err != nil {
+		b.Fatal(err)
+	}
+	return newEngine(m, &cfg)
+}
+
+// BenchmarkDecideAll measures one decide phase — the embarrassingly
+// parallel (M+N)·K gain sweep — at several worker counts. decideAll
+// never disturbs engine state (its evaluations reverse every toggle
+// exactly), so back-to-back calls measure identical work, and the
+// serial/parallel pair shares one engine per worker count. Results
+// are recorded in BENCH_floc.json; cmd/benchdiff compares fresh runs
+// against them.
+func BenchmarkDecideAll(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e := benchEngine(b, workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.decideAll()
+			}
+		})
+	}
+}
+
+// BenchmarkIterate measures a full phase-2 iteration — decide, order,
+// sequential apply with rollback, cache rebuild — the unit of work
+// the run loop repeats until convergence. The apply loop is
+// inherently serial (each action observes its predecessors), so this
+// bounds the overall speedup parallel decide can deliver.
+func BenchmarkIterate(b *testing.B) {
+	e := benchEngine(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	best := e.costSum
+	for i := 0; i < b.N; i++ {
+		best, _ = e.iterate(best)
+	}
+}

@@ -19,7 +19,7 @@ import (
 func TestChaosCrashThenResumeBitIdentical(t *testing.T) {
 	defer ChaosReset()
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 	full, err := Run(m, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestChaosCrashThenResumeBitIdentical(t *testing.T) {
 func TestChaosTornWriteRejected(t *testing.T) {
 	defer ChaosReset()
 	m := resilienceTestMatrix(t)
-	_, cks := captureCheckpoints(t, m, resilienceTestConfig())
+	_, cks := captureCheckpoints(t, m, resilienceTestConfig(t))
 	ck := cks[len(cks)-1]
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 
@@ -129,7 +129,7 @@ func TestChaosPreApplyFaultPanicsHotPath(t *testing.T) {
 
 	recovered := func() (r any) {
 		defer func() { r = recover() }()
-		_, _ = Run(m, resilienceTestConfig())
+		_, _ = Run(m, resilienceTestConfig(t))
 		return nil
 	}()
 	if recovered == nil {

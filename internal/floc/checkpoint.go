@@ -139,6 +139,9 @@ func resumeEngine(m *matrix.Matrix, cfg *Config, ck *Checkpoint) (*engine, error
 // MaxIterations is deliberately excluded: it caps the run without
 // altering any iteration, so resuming a capped run under a larger
 // budget is legal and bit-identical as far as the cap allowed.
+// Workers is excluded for the same reason: the decide phase's worker
+// count never changes a bit of the trajectory (see Config.Workers),
+// so a checkpoint written at one worker count resumes at any other.
 func configSum(cfg *Config) uint64 {
 	h := fnv.New64a()
 	var b [8]byte

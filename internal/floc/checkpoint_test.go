@@ -29,7 +29,7 @@ func resilienceTestMatrix(t testing.TB) *matrix.Matrix {
 	return ds.Matrix
 }
 
-func resilienceTestConfig() Config {
+func resilienceTestConfig(t testing.TB) Config {
 	cfg := DefaultConfig(3, 10)
 	cfg.Seed = 7
 	// Random seeding leaves phase 2 real work to do (8 improving
@@ -37,6 +37,10 @@ func resilienceTestConfig() Config {
 	// checkpoint, cancel at and crash between; anchored seeding would
 	// converge before the first iteration.
 	cfg.SeedMode = SeedRandom
+	// The chaos and resilience drills run under the CI FLOC_WORKERS
+	// matrix too: fault injection and crash/resume must hold at any
+	// decide-phase worker count.
+	applyEnvWorkers(t, &cfg)
 	return cfg
 }
 
@@ -63,7 +67,7 @@ func captureCheckpoints(t testing.TB, m *matrix.Matrix, cfg Config) (*Result, []
 
 func TestCheckpointBinaryRoundTrip(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	_, cks := captureCheckpoints(t, m, resilienceTestConfig())
+	_, cks := captureCheckpoints(t, m, resilienceTestConfig(t))
 	ck := cks[len(cks)-1]
 
 	data, err := ck.MarshalBinary()
@@ -89,7 +93,7 @@ func TestCheckpointBinaryRoundTrip(t *testing.T) {
 
 func TestCheckpointFileRoundTrip(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	_, cks := captureCheckpoints(t, m, resilienceTestConfig())
+	_, cks := captureCheckpoints(t, m, resilienceTestConfig(t))
 	ck := cks[0]
 
 	path := filepath.Join(t.TempDir(), "run.ckpt")
@@ -110,7 +114,7 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 
 func TestCheckpointRejectsCorruption(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	_, cks := captureCheckpoints(t, m, resilienceTestConfig())
+	_, cks := captureCheckpoints(t, m, resilienceTestConfig(t))
 	data, err := cks[0].MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +153,7 @@ func TestCheckpointRejectsCorruption(t *testing.T) {
 // uninterrupted run's.
 func TestResumeFromEveryBoundaryBitIdentical(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 	full, cks := captureCheckpoints(t, m, cfg)
 	want := fingerprint(full)
 
@@ -170,7 +174,7 @@ func TestResumeFromEveryBoundaryBitIdentical(t *testing.T) {
 // uninterrupted full run — the basis of the CI resume smoke test.
 func TestResumeOutlivesIterationCap(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 	full, err := Run(m, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +198,7 @@ func TestResumeOutlivesIterationCap(t *testing.T) {
 
 func TestResumeRejectsMismatchedRun(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 	_, cks := captureCheckpoints(t, m, cfg)
 	ck := cks[0]
 

@@ -29,6 +29,7 @@ package floc
 
 import (
 	"fmt"
+	"runtime"
 
 	"deltacluster/internal/cluster"
 	"deltacluster/internal/stats"
@@ -284,6 +285,20 @@ type Config struct {
 	// the per-evaluation cost from O(n·m) to O(n+m) and is ablated in
 	// the benchmark suite.
 	ApproximateGain bool
+
+	// Workers is the number of goroutines the phase-2 decide phase
+	// shards its (M+N)·K gain evaluations across. 0 (the zero value)
+	// means GOMAXPROCS; 1 keeps the decide phase on the calling
+	// goroutine; negative is an error. The worker count NEVER affects
+	// the result: every decision is evaluated against the frozen
+	// iteration-start state with exact toggle reversal and the shards
+	// merge by item index, so runs with any two worker counts are
+	// bit-identical — fingerprints, traces and checkpoints included
+	// (proven by the differential harness in parallel_test.go). For
+	// the same reason Workers is excluded from the checkpoint's
+	// ConfigSum: a checkpoint written at one worker count may resume
+	// at any other.
+	Workers int
 }
 
 // DefaultConfig returns a Config with the paper's recommended
@@ -348,6 +363,12 @@ func (cfg *Config) validate(rows, cols int) error {
 	}
 	if o := cfg.Order; o != FixedOrder && o != RandomOrder && o != WeightedRandomOrder {
 		return fmt.Errorf("floc: unknown order %d", int(o))
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("floc: Workers = %d, want ≥ 0 (0 means GOMAXPROCS)", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	return nil
 }

@@ -131,7 +131,10 @@ func RunContext(ctx context.Context, m *matrix.Matrix, cfg Config) (*Result, err
 // RunWithOptions is RunContext plus durable checkpointing: the run can
 // start from a checkpoint and emit periodic checkpoints. Resuming a
 // checkpoint under the same seed and configuration is bit-identical to
-// the uninterrupted run.
+// the uninterrupted run. Config.Workers is not part of "same
+// configuration" for this purpose: the decide phase's worker count
+// never affects any output — results, traces, checkpoints — so a
+// checkpoint written at one worker count may resume at any other.
 func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunOptions) (*Result, error) {
 	if err := cfg.validate(m.Rows(), m.Cols()); err != nil {
 		return nil, err

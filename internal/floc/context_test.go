@@ -13,7 +13,7 @@ func TestRunContextCancelledBeforeStart(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 
-	res, err := RunContext(ctx, m, resilienceTestConfig())
+	res, err := RunContext(ctx, m, resilienceTestConfig(t))
 	if res != nil {
 		t.Fatal("cancelled run returned a non-nil *Result")
 	}
@@ -49,7 +49,7 @@ func TestRunContextCancelledBeforeStart(t *testing.T) {
 // a checkpoint that resumes to the uninterrupted result bit-for-bit.
 func TestRunContextCancelStopsWithinOneIteration(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 	full, err := Run(m, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +99,7 @@ func TestRunContextDeadline(t *testing.T) {
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
 
-	_, err := RunContext(ctx, m, resilienceTestConfig())
+	_, err := RunContext(ctx, m, resilienceTestConfig(t))
 	var pr *PartialResult
 	if !errors.As(err, &pr) {
 		t.Fatalf("error %T is not a *PartialResult", err)
@@ -114,7 +114,7 @@ func TestRunContextDeadline(t *testing.T) {
 
 func TestRunWithOptionsRejectsNegativeCheckpointEvery(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	_, err := RunWithOptions(context.Background(), m, resilienceTestConfig(), RunOptions{CheckpointEvery: -1})
+	_, err := RunWithOptions(context.Background(), m, resilienceTestConfig(t), RunOptions{CheckpointEvery: -1})
 	if err == nil || !strings.Contains(err.Error(), "CheckpointEvery") {
 		t.Fatalf("err = %v, want a CheckpointEvery validation error", err)
 	}
@@ -123,7 +123,7 @@ func TestRunWithOptionsRejectsNegativeCheckpointEvery(t *testing.T) {
 // Run must stay a bit-identical thin wrapper over the context path.
 func TestRunMatchesRunContext(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 	a, err := Run(m, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -49,6 +49,7 @@ func TestRunDeterministicFingerprint(t *testing.T) {
 			cfg := DefaultConfig(3, 10)
 			cfg.Seed = 7
 			cfg.Order = order
+			applyEnvWorkers(t, &cfg) // CI sweeps FLOC_WORKERS=1,2,8
 			first, err := Run(ds.Matrix, cfg)
 			if err != nil {
 				t.Fatal(err)

@@ -64,6 +64,12 @@ type engine struct {
 
 	gainEvals int64
 	actions   int64
+
+	// undo is the scratch buffer for exact toggle reversal during
+	// speculative gain evaluation (see evalAction). Each evaluator —
+	// the engine itself and every decide-phase shadow — owns one, so
+	// evaluations never share it across goroutines.
+	undo cluster.ToggleUndo
 }
 
 // cost maps a cluster's shape and residue to the objective FLOC
@@ -315,17 +321,21 @@ func (e *engine) blockedNow(d decision) bool {
 	// Constraints on the candidate (toggled) state — removals too:
 	// earlier actions of this iteration may have changed the cluster,
 	// so a removal decided against the iteration-start state can now
-	// break occupancy.
+	// break occupancy. The probe reverses its toggle exactly (same
+	// discipline as evalAction): constraint checks observe state, they
+	// never perturb it.
 	if d.isRow {
+		cl.SaveRowToggle(d.idx, &e.undo)
 		cl.ToggleRow(d.idx)
 	} else {
+		cl.SaveColToggle(d.idx, &e.undo)
 		cl.ToggleCol(d.idx)
 	}
 	violated := e.violatesToggled(d.clusterIdx, isMember)
 	if d.isRow {
-		cl.ToggleRow(d.idx)
+		cl.UndoRowToggle(d.idx, &e.undo)
 	} else {
-		cl.ToggleCol(d.idx)
+		cl.UndoColToggle(d.idx, &e.undo)
 	}
 	return violated
 }

@@ -60,10 +60,19 @@ func (e *engine) evalAction(isRow bool, idx, c int) float64 {
 		approx = e.approximateGain(c, isRow, idx, isMember)
 	}
 
-	// Toggle, inspect the outcome, toggle back.
+	// Toggle, inspect the outcome, then reverse the toggle *exactly*.
+	// A plain toggle-back would leave float drift in the cross-axis
+	// sums and permute internal member order after removals, making
+	// each evaluation depend on every evaluation before it; the
+	// save/undo pair restores the cluster bit-for-bit, so an
+	// evaluation is a pure function of the frozen engine state — the
+	// property that lets decideAll shard evaluations across workers
+	// without changing a single output bit (see parallel.go).
 	if isRow {
+		cl.SaveRowToggle(idx, &e.undo)
 		cl.ToggleRow(idx)
 	} else {
+		cl.SaveColToggle(idx, &e.undo)
 		cl.ToggleCol(idx)
 	}
 	gain := negInf
@@ -76,9 +85,9 @@ func (e *engine) evalAction(isRow bool, idx, c int) float64 {
 		}
 	}
 	if isRow {
-		cl.ToggleRow(idx)
+		cl.UndoRowToggle(idx, &e.undo)
 	} else {
-		cl.ToggleCol(idx)
+		cl.UndoColToggle(idx, &e.undo)
 	}
 	return gain
 }
@@ -248,17 +257,6 @@ func (e *engine) decideOne(isRow bool, idx int) decision {
 	return best
 }
 
-// decideAll determines the best action for every row and column
-// (Figure 5, first box of phase 2), in matrix order; ordering
-// strategies permute the result afterwards.
-func (e *engine) decideAll() []decision {
-	m := e.m
-	out := make([]decision, 0, m.Rows()+m.Cols())
-	for i := 0; i < m.Rows(); i++ {
-		out = append(out, e.decideOne(true, i))
-	}
-	for j := 0; j < m.Cols(); j++ {
-		out = append(out, e.decideOne(false, j))
-	}
-	return out
-}
+// decideAll (parallel.go) determines the best action for every row
+// and column (Figure 5, first box of phase 2), in matrix order,
+// sharding the evaluations across Config.Workers goroutines.

@@ -1,0 +1,135 @@
+package floc
+
+import (
+	"sync"
+
+	"deltacluster/internal/cluster"
+)
+
+// Parallel decide phase.
+//
+// Phase 2's first box (Figure 5) scores one action per row and column
+// against the *iteration-start* engine state: (M+N)·k independent gain
+// evaluations that read frozen data. decideAll shards the M+N items
+// across Config.Workers goroutines and merges the shards by item
+// index, so the decision slice — and therefore every downstream
+// ordering draw, apply, checkpoint, fingerprint and OnProgress
+// observation — is bit-identical to the serial engine's for any
+// worker count.
+//
+// The determinism argument has three legs:
+//
+//  1. Evaluations are pure. evalAction reverses its speculative
+//     toggle with cluster.ToggleUndo, restoring the cluster
+//     bit-for-bit (a plain toggle-back would leave float drift in the
+//     cross-axis sums and permute internal member order after
+//     removals). Each item's decision is therefore a function of the
+//     frozen iteration-start bits only, not of evaluation order.
+//  2. Workers share nothing mutable. Each worker evaluates on a
+//     shadow: cloned clusters (exact bit copies, member order
+//     included) plus read-only views of the engine's residue/cost/
+//     coverage caches. Ties between clusters resolve by the same
+//     lowest-index-wins rule (decideOne's strict >) on every worker.
+//  3. The merge is positional. Worker w writes out[t] for exactly the
+//     t in its shard, and shard boundaries come from the same indexed
+//     item enumeration (itemOf) the serial loop uses, so the merged
+//     slice equals the serial one element for element. gainEvals
+//     tallies are integers summed in worker order.
+//
+// Only the decide phase runs in parallel. The apply loop stays serial
+// on purpose: each apply mutates shared cluster state and its
+// blockedNow re-check depends on every apply before it, so the
+// sequential dependency is semantic, not incidental. Decide is the
+// O((M+N)·k·n·m) bulk of an iteration; apply is O(actions·n·m) on the
+// winning prefix only.
+
+// itemOf maps a global decide-phase item index to its action target:
+// items 0..M−1 are rows, items M..M+N−1 are columns. It is the single
+// source of truth for item enumeration — the serial loop, the shard
+// bounds and the positional merge all index through it, so they
+// cannot disagree about which item lands where.
+func (e *engine) itemOf(t int) (isRow bool, idx int) {
+	if t < e.m.Rows() {
+		return true, t
+	}
+	return false, t - e.m.Rows()
+}
+
+// decideWorkers resolves Config.Workers against the number of items:
+// never more workers than items, never fewer than one.
+func (e *engine) decideWorkers(items int) int {
+	w := e.cfg.Workers
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// decideAll determines the best action for every row and column in
+// matrix order; ordering strategies permute the result afterwards.
+// With Workers ≤ 1 it is today's straight serial loop; otherwise the
+// items are sharded as documented above.
+func (e *engine) decideAll() []decision {
+	items := e.m.Rows() + e.m.Cols()
+	out := make([]decision, items)
+	workers := e.decideWorkers(items)
+	if workers <= 1 {
+		for t := 0; t < items; t++ {
+			isRow, idx := e.itemOf(t)
+			out[t] = e.decideOne(isRow, idx)
+		}
+		return out
+	}
+
+	shadows := make([]*engine, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * items / workers
+		hi := (w + 1) * items / workers
+		sh := e.decideShadow()
+		shadows[w] = sh
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := lo; t < hi; t++ {
+				isRow, idx := sh.itemOf(t)
+				out[t] = sh.decideOne(isRow, idx)
+			}
+		}()
+	}
+	wg.Wait()
+	// Integer tallies merge in worker order; the total equals the
+	// serial count because every item costs exactly k evaluations.
+	for _, sh := range shadows {
+		e.gainEvals += sh.gainEvals
+	}
+	return out
+}
+
+// decideShadow builds a read-path replica of the engine for one
+// decide-phase worker: cloned clusters it may speculatively toggle,
+// and shared read-only views of everything else an evaluation touches
+// (deltavet:writer — the guarded caches are aliased, not assigned
+// through; workers only read them, and the clones' own aggregates are
+// maintained by the cluster package's writers).
+func (e *engine) decideShadow() *engine {
+	sh := &engine{
+		m:        e.m,
+		cfg:      e.cfg,
+		residues: e.residues,
+		costs:    e.costs,
+		resSum:   e.resSum,
+		costSum:  e.costSum,
+		w:        e.w,
+		coverRow: e.coverRow,
+		coverCol: e.coverCol,
+	}
+	sh.clusters = make([]*cluster.Cluster, len(e.clusters))
+	for c, cl := range e.clusters {
+		sh.clusters[c] = cl.Clone()
+	}
+	return sh
+}

@@ -12,7 +12,7 @@ import (
 // the trace's value at that boundary.
 func TestOnProgressReportsEveryBoundary(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 
 	var seen []Progress
 	res, err := RunWithOptions(context.Background(), m, cfg, RunOptions{
@@ -44,7 +44,7 @@ func TestOnProgressReportsEveryBoundary(t *testing.T) {
 // a run with an observer is bit-identical to one without.
 func TestOnProgressIsPureObservation(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 
 	plain, err := RunContext(context.Background(), m, cfg)
 	if err != nil {
@@ -76,7 +76,7 @@ func TestOnProgressIsPureObservation(t *testing.T) {
 // resumed iteration, not from zero.
 func TestOnProgressResume(t *testing.T) {
 	m := resilienceTestMatrix(t)
-	cfg := resilienceTestConfig()
+	cfg := resilienceTestConfig(t)
 	_, cks := captureCheckpoints(t, m, cfg)
 	if len(cks) < 2 {
 		t.Skip("workload converged too fast to exercise resume")

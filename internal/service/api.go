@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
@@ -69,6 +70,13 @@ type FLOCParams struct {
 	Seeding         string  `json:"seeding,omitempty"` // random | anchored | auto
 	Occupancy       float64 `json:"occupancy,omitempty"`
 	ApproximateGain bool    `json:"approximate_gain,omitempty"`
+
+	// Workers shards each decide phase of the run across this many
+	// goroutines; 0 means all cores. The worker count never affects
+	// the result — runs are bit-identical at any value — so this is
+	// purely a latency knob. The server clamps it to GOMAXPROCS
+	// (extra workers cannot help and would only cost scheduling).
+	Workers int `json:"workers,omitempty"`
 
 	// Attempts is the number of supervised restart attempts (attempt i
 	// runs with seed Seed+i; the best clustering wins). Defaults to 1.
@@ -251,6 +259,15 @@ func (s *Server) buildSpec(req *SubmitRequest) (*runSpec, *apiError) {
 		cfg := floc.DefaultConfig(p.K, p.Delta)
 		cfg.Seed = p.Seed
 		cfg.ApproximateGain = p.ApproximateGain
+		if p.Workers < 0 {
+			return nil, badRequest("floc.workers = %d, want ≥ 0 (0 = all cores)", p.Workers)
+		}
+		cfg.Workers = p.Workers
+		if max := runtime.GOMAXPROCS(0); cfg.Workers > max {
+			// Transparent clamp: results are bit-identical at any
+			// worker count, so capping only trims goroutine overhead.
+			cfg.Workers = max
+		}
 		if p.MaxIterations < 0 {
 			return nil, badRequest("floc.max_iterations = %d, want ≥ 0", p.MaxIterations)
 		}

@@ -651,6 +651,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad delta", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": -1}}`, "floc.delta"},
 		{"bad order", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": 5, "order": "chaotic"}}`, "floc.order"},
 		{"negative deadline", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": 5}, "deadline_ms": -1}`, "deadline_ms"},
+		{"negative workers", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": 5, "workers": -2}}`, "floc.workers"},
 		{"bad tau", `{"algorithm": "clique", "matrix": {"rows": [[1, 2]]}, "clique": {"xi": 5, "tau": 1.5}}`, "clique.tau"},
 	}
 	for _, tc := range cases {
@@ -677,6 +678,37 @@ func TestSubmitValidation(t *testing.T) {
 				t.Fatalf("message %q does not mention %q", det.Message, tc.want)
 			}
 		})
+	}
+}
+
+// TestSubmitWorkersParam checks the floc.workers plumbing: the value
+// reaches the engine config, 0 stays 0 (floc resolves it to
+// GOMAXPROCS at validation), and oversized requests are clamped to
+// GOMAXPROCS — a transparent cap, since the worker count never
+// affects results.
+func TestSubmitWorkersParam(t *testing.T) {
+	s := New(Options{Workers: 1, QueueCap: 4})
+	build := func(workers int) int {
+		t.Helper()
+		req := &SubmitRequest{
+			Matrix: MatrixPayload{CSV: "1,2\n3,4\n"},
+			FLOC:   &FLOCParams{K: 1, Delta: 5, Workers: workers},
+		}
+		spec, aerr := s.buildSpec(req)
+		if aerr != nil {
+			t.Fatalf("buildSpec(workers=%d): %v", workers, aerr)
+		}
+		return spec.floc.Workers
+	}
+	if got := build(0); got != 0 {
+		t.Errorf("workers=0 resolved to %d before engine validation, want 0", got)
+	}
+	if got := build(1); got != 1 {
+		t.Errorf("workers=1 → %d, want 1", got)
+	}
+	max := runtime.GOMAXPROCS(0)
+	if got := build(1 << 20); got != max {
+		t.Errorf("workers=1<<20 → %d, want clamp to GOMAXPROCS (%d)", got, max)
 	}
 }
 
