@@ -1,24 +1,26 @@
 // Command benchdiff compares a fresh `go test -bench` run against a
 // recorded baseline (BENCH_floc.json, BENCH_service.json, ...) and
-// exits non-zero when any benchmark regresses beyond the tolerance.
+// reports every benchmark's ratio to its recorded ns/op.
 //
 // Usage:
 //
 //	go test -run XXX -bench BenchmarkDecideAll ./internal/floc/ | benchdiff -baseline BENCH_floc.json
-//	benchdiff -baseline BENCH_floc.json -input bench.out -tolerance 1.5
+//	benchdiff -baseline BENCH_floc.json -input bench.out -tolerance 1.5 -fail
 //
 // The comparison is on ns/op. Benchmark names are matched after
 // stripping the -GOMAXPROCS suffix go test appends on multi-core
 // machines, so a baseline recorded at one core count checks runs at
 // any other. Baseline entries absent from the input are reported but
-// do not fail the run (partial -bench filters are normal); input
+// never fail the run (partial -bench filters are normal); input
 // benchmarks absent from the baseline are listed as unrecorded.
 //
-// Benchmark timings on shared CI runners are noisy, so the default
-// tolerance is generous (+30%) and the CI step that runs this tool is
-// advisory (continue-on-error). The tool's job is to surface order-of-
-// magnitude regressions — an accidentally quadratic decide phase, a
-// lock on the hot path — not 5% drift.
+// By default the tool is advisory: it prints the comparison and exits
+// zero regardless. With -fail it exits 1 when any benchmark regresses
+// beyond -tolerance, which is how CI gates the hot path. Benchmark
+// timings on shared CI runners are noisy, so the default tolerance is
+// generous (+30%) — the gate's job is to catch order-of-magnitude
+// regressions (an accidentally quadratic decide phase, a lock on the
+// hot path), not 5% drift.
 package main
 
 import (
@@ -52,87 +54,109 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	baselinePath := flag.String("baseline", "", "recorded baseline JSON (required)")
-	inputPath := flag.String("input", "-", "bench output to check ('-' = stdin)")
-	tolerance := flag.Float64("tolerance", 1.30, "max allowed ns/op ratio current/baseline")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its edges injected, so the unit tests can drive the
+// whole tool — flag parsing to exit code — on canned input.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "recorded baseline JSON (required)")
+	inputPath := fs.String("input", "-", "bench output to check ('-' = stdin)")
+	tolerance := fs.Float64("tolerance", 1.30, "max allowed ns/op ratio current/baseline")
+	failOnRegression := fs.Bool("fail", false, "exit non-zero on regression (default: advisory report only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *baselinePath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: -baseline is required")
+		fs.Usage()
+		return 2
 	}
 	if *tolerance <= 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: tolerance %v, want > 0\n", *tolerance)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: tolerance %v, want > 0\n", *tolerance)
+		return 2
 	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
 	}
 	var base baseline
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baselinePath, err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+		return 2
 	}
 
-	var in io.Reader = os.Stdin
+	in := stdin
 	if *inputPath != "-" {
 		f, err := os.Open(*inputPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
 		}
 		defer f.Close()
 		in = f
 	}
 	current, order, err := parseBench(in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
 	}
 	if len(current) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines in input")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: no benchmark lines in input")
+		return 2
 	}
 
+	fmt.Fprintf(stdout, "baseline %s (%s, recorded %s), tolerance %.2fx\n",
+		*baselinePath, base.Suite, base.Recorded, *tolerance)
+	regressions := diff(base, current, order, *tolerance, stdout)
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d regression(s) beyond %.2fx\n", regressions, *tolerance)
+		if *failOnRegression {
+			return 1
+		}
+		fmt.Fprintln(stdout, "benchdiff: advisory mode (-fail not set), not failing")
+		return 0
+	}
+	fmt.Fprintln(stdout, "benchdiff: no regressions")
+	return 0
+}
+
+// diff writes the per-benchmark comparison to out and returns how many
+// benchmarks regressed beyond tolerance.
+func diff(base baseline, current map[string]float64, order []string, tolerance float64, out io.Writer) int {
 	recorded := make(map[string]float64, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		recorded[b.Name] = b.NsPerOp
 	}
-
-	fmt.Printf("baseline %s (%s, recorded %s), tolerance %.2fx\n",
-		*baselinePath, base.Suite, base.Recorded, *tolerance)
 	regressions := 0
 	for _, name := range order {
 		ns := current[name]
 		want, ok := recorded[name]
 		if !ok {
-			fmt.Printf("  %-45s %12.0f ns/op  (not in baseline)\n", name, ns)
+			fmt.Fprintf(out, "  %-45s %12.0f ns/op  (not in baseline)\n", name, ns)
 			continue
 		}
 		ratio := ns / want
 		verdict := "ok"
-		if ratio > *tolerance {
+		if ratio > tolerance {
 			verdict = "REGRESSION"
 			regressions++
-		} else if ratio < 1/(*tolerance) {
+		} else if ratio < 1/tolerance {
 			verdict = "improved"
 		}
-		fmt.Printf("  %-45s %12.0f ns/op  baseline %12.0f  ratio %.2fx  %s\n",
+		fmt.Fprintf(out, "  %-45s %12.0f ns/op  baseline %12.0f  ratio %.2fx  %s\n",
 			name, ns, want, ratio, verdict)
 	}
 	for _, b := range base.Benchmarks {
 		if _, ok := current[b.Name]; !ok {
-			fmt.Printf("  %-45s (in baseline, not run)\n", b.Name)
+			fmt.Fprintf(out, "  %-45s (in baseline, not run)\n", b.Name)
 		}
 	}
-	if regressions > 0 {
-		fmt.Printf("benchdiff: %d regression(s) beyond %.2fx\n", regressions, *tolerance)
-		os.Exit(1)
-	}
-	fmt.Println("benchdiff: no regressions")
+	return regressions
 }
 
 // parseBench extracts name → ns/op from go test -bench output,

@@ -137,7 +137,7 @@ func RunContext(ctx context.Context, m *matrix.Matrix, cfg Config) (*Result, err
 		// Mask the discovered cells with random values so the next
 		// round finds something else (the original algorithm's step).
 		for _, i := range spec.Rows {
-			row := work.RowView(i)
+			row := work.MutRow(i)
 			for _, j := range spec.Cols {
 				row[j] = rng.Uniform(lo, hi)
 			}

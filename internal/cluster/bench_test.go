@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stats"
+)
+
+// benchMatrix builds a 500×60 matrix with 5% missing entries — the
+// shape the floc decide benchmarks run over, so the micro-benchmarks
+// here measure the same kernel the end-to-end numbers aggregate.
+// (synth would plant coherent clusters but imports this package, so
+// the fill is seeded uniform noise; the kernel's cost is shape- and
+// missingness-bound, not value-bound.)
+func benchMatrix(b *testing.B) *matrix.Matrix {
+	b.Helper()
+	const rows, cols = 500, 60
+	m := matrix.New(rows, cols)
+	rng := stats.NewRNG(97)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Bool(0.05) {
+				continue // stays missing
+			}
+			m.Set(i, j, rng.Uniform(0, 10))
+		}
+	}
+	return m
+}
+
+// benchCluster builds a mid-sized member set over the bench matrix:
+// every third row and two thirds of the columns, the shape of a
+// cluster partway through a FLOC run.
+func benchCluster(b *testing.B, m *matrix.Matrix) *Cluster {
+	b.Helper()
+	var rows, cols []int
+	for i := 0; i < m.Rows(); i += 3 {
+		rows = append(rows, i)
+	}
+	for j := 0; j < m.Cols(); j++ {
+		if j%3 != 0 {
+			cols = append(cols, j)
+		}
+	}
+	return FromSpec(m, rows, cols)
+}
+
+// BenchmarkResidueWith measures the O(volume) residue scan — the inner
+// kernel of every exact gain evaluation, called (M+N)·K times per
+// decide phase. Results are recorded in BENCH_floc.json.
+func BenchmarkResidueWith(b *testing.B) {
+	m := benchMatrix(b)
+	cl := benchCluster(b, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += cl.ResidueWith(ArithmeticMean)
+	}
+	_ = sink
+}
+
+// BenchmarkResidueWithPacked is the same scan with the evaluation pack
+// enabled — the configuration the FLOC engine actually runs (pack.go).
+// On this deliberately large 167×40 cluster the pack's edge over the
+// gather is modest; its real payoff is on engine-shaped clusters
+// (tens of rows × a handful of columns, five clusters scanned round-
+// robin), where the packed working set stays L1-resident — see
+// BenchmarkDecideAll in internal/floc.
+func BenchmarkResidueWithPacked(b *testing.B) {
+	m := benchMatrix(b)
+	cl := benchCluster(b, m)
+	cl.EnablePack()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += cl.ResidueWith(ArithmeticMean)
+	}
+	_ = sink
+}
+
+// BenchmarkColToggle measures the save/toggle/undo triple for a
+// column — the bookkeeping wrapped around every column gain
+// evaluation. "add" toggles a non-member column in, "remove" toggles
+// a member column out; both reverse exactly, so state is identical
+// across iterations.
+func BenchmarkColToggle(b *testing.B) {
+	m := benchMatrix(b)
+	b.Run("add", func(b *testing.B) {
+		cl := benchCluster(b, m)
+		var u ToggleUndo
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cl.SaveColToggle(0, &u) // column 0 is not a member
+			cl.ToggleCol(0)
+			cl.UndoColToggle(0, &u)
+		}
+	})
+	b.Run("remove", func(b *testing.B) {
+		cl := benchCluster(b, m)
+		var u ToggleUndo
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cl.SaveColToggle(1, &u) // column 1 is a member
+			cl.ToggleCol(1)
+			cl.UndoColToggle(1, &u)
+		}
+	})
+}

@@ -73,6 +73,21 @@ type Cluster struct {
 
 	total  float64 // sum of all specified entries in the submatrix // deltavet:guard
 	volume int     // count of specified entries in the submatrix // deltavet:guard
+
+	// The evaluation pack (pack.go): a dense row-major copy of the
+	// member submatrix in internal member order, enabled by EnablePack.
+	// Guarded like the aggregates — its blocks must track
+	// memberRows/memberCols exactly or the packed residue scan reads
+	// the wrong entries.
+	pack       []float64 // (r, k) → value at (memberRows[r], memberCols[k]) // deltavet:guard
+	packBases  []float64 // r → rowSum/rowCnt of memberRows[r], recached on mutation // deltavet:guard
+	packStride int       // floats per pack block; 0 while disabled // deltavet:guard
+
+	// colBases is unguarded scratch reused by ResidueWith to hold the
+	// hoisted attribute bases for one scan. It carries no state between
+	// calls (fully overwritten before use) and is deliberately not
+	// copied by Clone/CopyFrom.
+	colBases []float64
 }
 
 // New returns an empty δ-cluster over m.
@@ -180,6 +195,24 @@ func (c *Cluster) Cols() []int {
 	return out
 }
 
+// RowsInto overwrites dst with the member row indices in ascending
+// order, reusing dst's storage, and returns the result — the
+// zero-allocation counterpart of Rows for hot paths that scan the
+// membership every evaluation (see floc's approximate gain).
+func (c *Cluster) RowsInto(dst []int) []int {
+	dst = append(dst[:0], c.memberRows...)
+	sort.Ints(dst)
+	return dst
+}
+
+// ColsInto overwrites dst with the member column indices in ascending
+// order, reusing dst's storage; see RowsInto.
+func (c *Cluster) ColsInto(dst []int) []int {
+	dst = append(dst[:0], c.memberCols...)
+	sort.Ints(dst)
+	return dst
+}
+
 // OrderedRows returns a copy of the member row indices in internal
 // (insertion) order. Floating-point aggregates accumulate in this
 // order, so it — not the sorted view — is what a checkpoint must
@@ -203,6 +236,9 @@ func (c *Cluster) AddRow(i int) {
 	c.rowPos[i] = len(c.memberRows)
 	c.memberRows = append(c.memberRows, i)
 	row := c.m.RowView(i)
+	if c.packStride > 0 {
+		c.packAppendRow(row)
+	}
 	for _, j := range c.memberCols {
 		v := row[j]
 		if math.IsNaN(v) {
@@ -214,6 +250,10 @@ func (c *Cluster) AddRow(i int) {
 		c.colCnt[j]++
 		c.total += v
 		c.volume++
+	}
+	if c.packStride > 0 {
+		// Only the new row's sums changed; the other cached bases stand.
+		c.packRefreshBase(len(c.memberRows)-1, i)
 	}
 }
 
@@ -231,6 +271,9 @@ func (c *Cluster) RemoveRow(i int) {
 	c.rowPos[moved] = pos
 	c.memberRows = c.memberRows[:last]
 	c.rowPos[i] = -1
+	if c.packStride > 0 {
+		c.packRemoveRow(pos)
+	}
 
 	row := c.m.RowView(i)
 	for _, j := range c.memberCols {
@@ -256,8 +299,27 @@ func (c *Cluster) AddCol(j int) {
 	}
 	c.colPos[j] = len(c.memberCols)
 	c.memberCols = append(c.memberCols, j)
+	if c.packStride > 0 && len(c.memberCols) > c.packStride {
+		// Widen before the early return too: with no member rows there
+		// are no blocks to move, but the stride invariant
+		// (packStride ≥ len(memberCols)) must hold before the next
+		// packAppendRow.
+		c.packGrowStride()
+	}
+	if len(c.memberRows) == 0 {
+		return
+	}
+	// The column-major mirror turns this scan from stride-Cols to
+	// unit-stride; the mirror entries are bit copies of the row-major
+	// backing, so every accumulated operand is unchanged. The guard
+	// above keeps generators that add columns to empty clusters from
+	// forcing a mirror build they will never read.
+	col := c.m.ColView(j)
+	if c.packStride > 0 {
+		c.packAppendCol(col)
+	}
 	for _, i := range c.memberRows {
-		v := c.m.RowView(i)[j]
+		v := col[i]
 		if math.IsNaN(v) {
 			continue
 		}
@@ -267,6 +329,9 @@ func (c *Cluster) AddCol(j int) {
 		c.colCnt[j]++
 		c.total += v
 		c.volume++
+	}
+	if c.packStride > 0 {
+		c.packRefreshBases()
 	}
 }
 
@@ -284,16 +349,25 @@ func (c *Cluster) RemoveCol(j int) {
 	c.colPos[moved] = pos
 	c.memberCols = c.memberCols[:last]
 	c.colPos[j] = -1
+	if c.packStride > 0 {
+		c.packRemoveCol(pos)
+	}
 
-	for _, i := range c.memberRows {
-		v := c.m.RowView(i)[j]
-		if math.IsNaN(v) {
-			continue
+	if len(c.memberRows) > 0 {
+		col := c.m.ColView(j) // unit-stride; bit copies of the backing
+		for _, i := range c.memberRows {
+			v := col[i]
+			if math.IsNaN(v) {
+				continue
+			}
+			c.rowSum[i] -= v
+			c.rowCnt[i]--
+			c.total -= v
+			c.volume--
 		}
-		c.rowSum[i] -= v
-		c.rowCnt[i]--
-		c.total -= v
-		c.volume--
+		if c.packStride > 0 {
+			c.packRefreshBases()
+		}
 	}
 	c.colSum[j] = 0
 	c.colCnt[j] = 0
@@ -355,8 +429,16 @@ func (c *Cluster) UndoRowToggle(i int, u *ToggleUndo) {
 		c.memberRows[last] = moved
 		c.rowPos[i] = u.pos
 		c.rowPos[moved] = last
+		if c.packStride > 0 {
+			c.packSwapRows(u.pos, last)
+		}
 		c.rowSum[i] = u.itemSum
 		c.rowCnt[i] = u.itemCnt
+		if c.packStride > 0 {
+			// AddRow cached a base from the re-accumulated sums; recache
+			// it from the restored bits.
+			c.packRefreshBase(u.pos, i)
+		}
 	} else {
 		// The toggle appended row i; removing the last member restores
 		// order exactly, and a non-member's rowSum/rowCnt are zero by
@@ -394,6 +476,9 @@ func (c *Cluster) UndoColToggle(j int, u *ToggleUndo) {
 		c.memberCols[last] = moved
 		c.colPos[j] = u.pos
 		c.colPos[moved] = last
+		if c.packStride > 0 {
+			c.packSwapCols(u.pos, last)
+		}
 		c.colSum[j] = u.itemSum
 		c.colCnt[j] = u.itemCnt
 	} else {
@@ -401,6 +486,12 @@ func (c *Cluster) UndoColToggle(j int, u *ToggleUndo) {
 	}
 	for k, i := range c.memberRows {
 		c.rowSum[i] = u.sums[k]
+	}
+	if c.packStride > 0 {
+		// The restore loop above rewrote every member row's sum; the
+		// bases cached by the AddCol/RemoveCol inside this undo are
+		// stale. Recache from the restored bits.
+		c.packRefreshBases()
 	}
 	c.total = u.total
 }
@@ -479,28 +570,98 @@ func (c *Cluster) EntryResidue(i, j int) float64 {
 func (c *Cluster) Residue() float64 { return c.ResidueWith(ArithmeticMean) }
 
 // ResidueWith returns the cluster residue under the chosen mean.
+//
+// The scan is the hot kernel of every exact gain evaluation in the
+// FLOC engine, so the attribute bases d_Ij are hoisted into a scratch
+// slice first: one divide per member column instead of one per
+// specified entry. The hoist is operand-preserving — each consumed
+// base is the same division of the same bits, just computed once — so
+// the result is bit-identical to the fused form. A column whose
+// member entries are all missing (colCnt == 0) hoists to 0/0 = NaN,
+// but every entry of such a column is skipped, so the value is never
+// consumed. The mean switch is likewise hoisted out of the inner
+// loop; the per-entry arithmetic and accumulation order are
+// unchanged.
 func (c *Cluster) ResidueWith(mean ResidueMean) float64 {
 	if c.volume == 0 {
 		return 0
 	}
 	base := c.total / float64(c.volume)
+	cols := c.memberCols
+	if cap(c.colBases) < len(cols) {
+		c.colBases = make([]float64, len(cols))
+	}
+	bases := c.colBases[:len(cols)]
+	for k, j := range cols {
+		bases[k] = c.colSum[j] / float64(c.colCnt[j])
+	}
+	cols = cols[:len(bases)] // lets the compiler drop the bases[k] bounds check
 	sum := 0.0
-	for _, i := range c.memberRows {
-		if c.rowCnt[i] == 0 {
-			continue
+	if s := c.packStride; s > 0 {
+		// Packed fast path: scan the dense member submatrix instead of
+		// gathering through memberCols. Pack entry (r, k) is a bit copy
+		// of the matrix entry at (memberRows[r], memberCols[k]) and is
+		// consumed in the same (r, k) order as the gather below, so
+		// every operand and every accumulation step is identical. The
+		// row bases come precached from packBases — the same quotient
+		// bits the gather path divides out per row — and a zero-count
+		// row needs no skip here: its cached base is NaN, but so is
+		// every one of its pack entries, so the inner loop contributes
+		// exactly the nothing the gather path's skip contributes.
+		rbases := c.packBases[:len(c.memberRows)]
+		if mean == SquaredMean {
+			for r, rowBase := range rbases {
+				row := c.pack[r*s : r*s+len(bases)]
+				for k, v := range row {
+					if math.IsNaN(v) {
+						continue
+					}
+					rr := v - rowBase - bases[k] + base
+					sum += rr * rr
+				}
+			}
+		} else {
+			for r, rowBase := range rbases {
+				row := c.pack[r*s : r*s+len(bases)]
+				for k, v := range row {
+					if math.IsNaN(v) {
+						continue
+					}
+					sum += math.Abs(v - rowBase - bases[k] + base)
+				}
+			}
 		}
-		rowBase := c.rowSum[i] / float64(c.rowCnt[i])
-		row := c.m.RowView(i)
-		for _, j := range c.memberCols {
-			v := row[j]
-			if math.IsNaN(v) {
+		return sum / float64(c.volume)
+	}
+	if mean == SquaredMean {
+		for _, i := range c.memberRows {
+			if c.rowCnt[i] == 0 {
 				continue
 			}
-			r := v - rowBase - c.colSum[j]/float64(c.colCnt[j]) + base
-			if mean == SquaredMean {
+			rowBase := c.rowSum[i] / float64(c.rowCnt[i])
+			row := c.m.RowView(i)
+			for k, j := range cols {
+				v := row[j]
+				if math.IsNaN(v) {
+					continue
+				}
+				r := v - rowBase - bases[k] + base
 				sum += r * r
-			} else {
-				sum += math.Abs(r)
+			}
+		}
+	} else {
+		for _, i := range c.memberRows {
+			if c.rowCnt[i] == 0 {
+				continue
+			}
+			rowBase := c.rowSum[i] / float64(c.rowCnt[i])
+			row := c.m.RowView(i)
+			for k, j := range cols {
+				v := row[j]
+				if math.IsNaN(v) {
+					continue
+				}
+				sum += math.Abs(v - rowBase - bases[k] + base)
 			}
 		}
 	}
@@ -542,8 +703,9 @@ func (c *Cluster) Diameter() float64 {
 	sum := 0.0
 	for _, j := range c.memberCols {
 		lo, hi := math.Inf(1), math.Inf(-1)
+		col := c.m.ColView(j) // unit-stride; bit copies of the backing
 		for _, i := range c.memberRows {
-			v := c.m.RowView(i)[j]
+			v := col[i]
 			if math.IsNaN(v) {
 				continue
 			}
@@ -603,6 +765,9 @@ func (c *Cluster) Clone() *Cluster {
 		colCnt:     append([]int(nil), c.colCnt...),
 		total:      c.total,
 		volume:     c.volume,
+		pack:       append([]float64(nil), c.pack...),
+		packBases:  append([]float64(nil), c.packBases...),
+		packStride: c.packStride,
 	}
 }
 
@@ -622,6 +787,17 @@ func (c *Cluster) CopyFrom(o *Cluster) {
 	copy(c.colCnt, o.colCnt)
 	c.total = o.total
 	c.volume = o.volume
+	if o.packStride > 0 {
+		// Adopt the source's pack wholesale (same matrix shape → same
+		// stride); reusing c's backing keeps the copy allocation-free
+		// once warm.
+		c.packStride = o.packStride
+		c.packSetLen(len(c.memberRows))
+		copy(c.pack, o.pack)
+		copy(c.packBases, o.packBases)
+	} else if c.packStride > 0 {
+		c.rebuildPack()
+	}
 }
 
 // Recompute rebuilds all guarded aggregates from the matrix
@@ -653,6 +829,9 @@ func (c *Cluster) Recompute() {
 			c.total += v
 			c.volume++
 		}
+	}
+	if c.packStride > 0 {
+		c.packRefreshBases()
 	}
 }
 

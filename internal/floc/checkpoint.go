@@ -108,6 +108,11 @@ func resumeEngine(m *matrix.Matrix, cfg *Config, ck *Checkpoint) (*engine, error
 		actions:   ck.Actions,
 	}
 	e.w = float64(m.SpecifiedCount())
+	// Same discipline as newEngine: freeze the derived matrix caches
+	// from this goroutine before decide workers can share the matrix,
+	// and enable the dense evaluation pack (bit copies — the resumed
+	// trajectory stays byte-identical to the uninterrupted one).
+	m.EnsureDerived()
 	e.clusters = make([]*cluster.Cluster, cfg.K)
 	e.residues = make([]float64, cfg.K)
 	e.costs = make([]float64, cfg.K)
@@ -116,6 +121,7 @@ func resumeEngine(m *matrix.Matrix, cfg *Config, ck *Checkpoint) (*engine, error
 		if err != nil {
 			return nil, fmt.Errorf("floc: checkpoint cluster %d: %w", c, err)
 		}
+		cl.EnablePack()
 		e.clusters[c] = cl
 		e.residues[c] = cl.ResidueWith(cfg.ResidueMean)
 		e.resSum += e.residues[c]

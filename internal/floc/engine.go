@@ -70,6 +70,19 @@ type engine struct {
 	// the engine itself and every decide-phase shadow — owns one, so
 	// evaluations never share it across goroutines.
 	undo cluster.ToggleUndo
+
+	// Reused scratch, all owned by this engine (shadows get their own):
+	// decisions backs decideAll's result (overwritten every call — the
+	// caller must not retain it across calls), shadows pools the
+	// decide-phase workers across iterations, applied and snap back
+	// iterate's bookkeeping, and idxScratch holds approximateGain's
+	// sorted membership view. Together they take the steady-state
+	// decide phase to zero heap allocations.
+	decisions  []decision
+	shadows    []*engine
+	applied    []appliedAction
+	snap       *snapshot
+	idxScratch []int
 }
 
 // cost maps a cluster's shape and residue to the objective FLOC
@@ -157,6 +170,16 @@ func newEngine(m *matrix.Matrix, cfg *Config) *engine {
 	} else {
 		e.clusters = seedClusters(m, cfg, e.rng)
 	}
+	// Freeze the derived matrix caches (column-major mirror, missing
+	// bitsets) from this single goroutine before the decide phase can
+	// share the matrix with worker goroutines, and turn on the dense
+	// evaluation pack that the residue kernel scans — both are exact
+	// bit copies of the backing data, so every residue computed from
+	// here on is bit-identical to the unpacked path.
+	m.EnsureDerived()
+	for _, cl := range e.clusters {
+		cl.EnablePack()
+	}
 	e.residues = make([]float64, cfg.K)
 	e.costs = make([]float64, cfg.K)
 	for c, cl := range e.clusters {
@@ -230,7 +253,10 @@ func (e *engine) iterate(bestCost float64) (float64, bool) {
 
 	checkpoint := e.checkpoint()
 
-	applied := make([]appliedAction, len(decisions))
+	if cap(e.applied) < len(decisions) {
+		e.applied = make([]appliedAction, len(decisions))
+	}
+	applied := e.applied[:len(decisions)]
 	minCost := bestCost
 	minAt := -1
 	for t, d := range decisions {
@@ -391,19 +417,36 @@ type snapshot struct {
 	coverCol []int
 }
 
+// checkpoint captures the engine's cluster state for rollback. The
+// snapshot's storage is pooled on the engine and reused every
+// iteration; callers hold it only until the matching restore.
 func (e *engine) checkpoint() *snapshot {
-	s := &snapshot{
-		clusters: make([]*cluster.Cluster, len(e.clusters)),
-		residues: append([]float64(nil), e.residues...),
-		costs:    append([]float64(nil), e.costs...),
-		resSum:   e.resSum,
-		costSum:  e.costSum,
-		coverRow: append([]int(nil), e.coverRow...),
-		coverCol: append([]int(nil), e.coverCol...),
+	if e.snap == nil {
+		s := &snapshot{
+			clusters: make([]*cluster.Cluster, len(e.clusters)),
+			residues: append([]float64(nil), e.residues...),
+			costs:    append([]float64(nil), e.costs...),
+			resSum:   e.resSum,
+			costSum:  e.costSum,
+			coverRow: append([]int(nil), e.coverRow...),
+			coverCol: append([]int(nil), e.coverCol...),
+		}
+		for c, cl := range e.clusters {
+			s.clusters[c] = cl.Clone()
+		}
+		e.snap = s
+		return s
 	}
+	s := e.snap
 	for c, cl := range e.clusters {
-		s.clusters[c] = cl.Clone()
+		s.clusters[c].CopyFrom(cl)
 	}
+	copy(s.residues, e.residues)
+	copy(s.costs, e.costs)
+	s.resSum = e.resSum
+	s.costSum = e.costSum
+	copy(s.coverRow, e.coverRow)
+	copy(s.coverCol, e.coverCol)
 	return s
 }
 

@@ -149,9 +149,14 @@ func (e *engine) approximateGain(c int, isRow bool, idx int, isMember bool) floa
 	var cnt int
 	if isRow {
 		row := cl.Matrix().RowView(idx)
+		// The sorted membership lands in engine-owned scratch —
+		// ColsInto reuses its storage, so the two passes below cost no
+		// allocations (cl.Cols() would allocate and sort twice).
+		cols := cl.ColsInto(e.idxScratch)
+		e.idxScratch = cols
 		// The item's base over the cluster's columns.
 		sum := 0.0
-		for _, j := range cl.Cols() {
+		for _, j := range cols {
 			if v := row[j]; !math.IsNaN(v) {
 				sum += v
 				cnt++
@@ -164,7 +169,7 @@ func (e *engine) approximateGain(c int, isRow bool, idx int, isMember bool) floa
 		if isMember {
 			itemBase = cl.RowBase(idx)
 		}
-		for _, j := range cl.Cols() {
+		for _, j := range cols {
 			v := row[j]
 			if math.IsNaN(v) {
 				continue
@@ -181,10 +186,15 @@ func (e *engine) approximateGain(c int, isRow bool, idx int, isMember bool) floa
 			}
 		}
 	} else {
-		mtx := cl.Matrix()
+		// ColView turns the column walk unit-stride; its entries are
+		// bit copies of the row-major backing, so every operand below
+		// is unchanged.
+		col := cl.Matrix().ColView(idx)
+		rows := cl.RowsInto(e.idxScratch)
+		e.idxScratch = rows
 		sum := 0.0
-		for _, i := range cl.Rows() {
-			if v := mtx.RowView(i)[idx]; !math.IsNaN(v) {
+		for _, i := range rows {
+			if v := col[i]; !math.IsNaN(v) {
 				sum += v
 				cnt++
 			}
@@ -196,8 +206,8 @@ func (e *engine) approximateGain(c int, isRow bool, idx int, isMember bool) floa
 		if isMember {
 			itemBase = cl.ColBase(idx)
 		}
-		for _, i := range cl.Rows() {
-			v := mtx.RowView(i)[idx]
+		for _, i := range rows {
+			v := col[i]
 			if math.IsNaN(v) {
 				continue
 			}

@@ -72,9 +72,17 @@ func (e *engine) decideWorkers(items int) int {
 // matrix order; ordering strategies permute the result afterwards.
 // With Workers ≤ 1 it is today's straight serial loop; otherwise the
 // items are sharded as documented above.
+//
+// The returned slice is backed by engine-owned scratch that the next
+// decideAll call overwrites; callers must copy it to retain it across
+// calls. Shadows are pooled across iterations, so the steady-state
+// decide phase performs no heap allocations beyond goroutine startup.
 func (e *engine) decideAll() []decision {
 	items := e.m.Rows() + e.m.Cols()
-	out := make([]decision, items)
+	if cap(e.decisions) < items {
+		e.decisions = make([]decision, items)
+	}
+	out := e.decisions[:items]
 	workers := e.decideWorkers(items)
 	if workers <= 1 {
 		for t := 0; t < items; t++ {
@@ -84,26 +92,32 @@ func (e *engine) decideAll() []decision {
 		return out
 	}
 
-	shadows := make([]*engine, workers)
+	if len(e.shadows) < workers {
+		for w := len(e.shadows); w < workers; w++ {
+			e.shadows = append(e.shadows, e.decideShadow())
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * items / workers
 		hi := (w + 1) * items / workers
-		sh := e.decideShadow()
-		shadows[w] = sh
+		sh := e.shadows[w]
+		sh.refreshShadow(e)
 		wg.Add(1)
-		go func() {
+		go func(sh *engine, lo, hi int) {
 			defer wg.Done()
 			for t := lo; t < hi; t++ {
 				isRow, idx := sh.itemOf(t)
 				out[t] = sh.decideOne(isRow, idx)
 			}
-		}()
+		}(sh, lo, hi)
 	}
 	wg.Wait()
 	// Integer tallies merge in worker order; the total equals the
 	// serial count because every item costs exactly k evaluations.
-	for _, sh := range shadows {
+	// Only the first `workers` shadows ran this call (the pool never
+	// shrinks, but decideWorkers is stable for a fixed config/matrix).
+	for _, sh := range e.shadows[:workers] {
 		e.gainEvals += sh.gainEvals
 	}
 	return out
@@ -114,7 +128,8 @@ func (e *engine) decideAll() []decision {
 // and shared read-only views of everything else an evaluation touches
 // (deltavet:writer — the guarded caches are aliased, not assigned
 // through; workers only read them, and the clones' own aggregates are
-// maintained by the cluster package's writers).
+// maintained by the cluster package's writers). Shadows live in
+// e.shadows and are refreshed, not rebuilt, on every decide call.
 func (e *engine) decideShadow() *engine {
 	sh := &engine{
 		m:        e.m,
@@ -132,4 +147,19 @@ func (e *engine) decideShadow() *engine {
 		sh.clusters[c] = cl.Clone()
 	}
 	return sh
+}
+
+// refreshShadow re-syncs a pooled shadow with the engine's
+// iteration-start state (deltavet:writer). The guarded cache slices
+// were aliased at construction and the engine only ever copies into
+// them in place, so only the scalars, the tally and the cluster bits
+// need refreshing; CopyFrom reuses the clusters' storage, making the
+// refresh allocation-free once the pack capacities are warm.
+func (sh *engine) refreshShadow(e *engine) {
+	sh.resSum = e.resSum
+	sh.costSum = e.costSum
+	sh.gainEvals = 0
+	for c, cl := range e.clusters {
+		sh.clusters[c].CopyFrom(cl)
+	}
 }

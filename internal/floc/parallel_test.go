@@ -303,7 +303,10 @@ func TestDecideAllMatchesSerialLoop(t *testing.T) {
 	e := newEngine(m, &cfg)
 
 	e.cfg.Workers = 1
-	want := e.decideAll()
+	// decideAll returns engine-owned scratch that the next call
+	// overwrites, so the serial result must be copied to survive the
+	// sharded calls below.
+	want := append([]decision(nil), e.decideAll()...)
 	wantEvals := e.gainEvals
 	for _, w := range []int{2, 3, 7, 50 + 11, 1000} {
 		e.gainEvals = 0

@@ -1,0 +1,168 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Derived read caches.
+//
+// The hot kernels in internal/cluster touch the matrix in two shapes
+// the row-major backing array serves badly:
+//
+//   - column toggles and column gain evaluations walk one column
+//     across many rows — stride-Cols accesses that miss cache on
+//     every entry. The column-major mirror makes them unit-stride.
+//   - aggregate counting (specified entries per row/column/matrix)
+//     pays a per-entry IsNaN branch. The missing-value bitsets make
+//     it word-at-a-time popcount.
+//
+// Both caches are built lazily on first use and kept in sync by this
+// package's mutators (Set, SetMissing and the transform.go family).
+// MutRow — the only way to write a row wholesale — invalidates them;
+// they rebuild on next use. The cached values are exact bit copies of
+// the backing entries, so reading through a cache can never change a
+// float operand: kernels switching from RowView to ColView, or from
+// IsNaN to a mask bit, produce bit-identical results.
+//
+// Concurrency: the cache pointer is atomic and builds serialize on a
+// mutex, so any number of concurrent *readers* may race to the first
+// ColView/RowMask/SpecifiedCount call safely — exactly one build runs
+// and the rest wait for it. Mutators still require exclusive access,
+// the same contract as writing the backing data. EnsureDerived remains
+// useful to pay the build cost eagerly (the FLOC engine calls it
+// before sharding its decide phase).
+
+// derived holds the lazily built caches. It lives behind a pointer so
+// Clone can cheaply start with none.
+type derived struct {
+	// mirror is the column-major copy: mirror[j*rows+i] == data[i*cols+j].
+	mirror []float64
+	// rowMask packs one bit per entry, row-major: bit (j&63) of word
+	// rowMask[i*rowW + j>>6] is set iff entry (i, j) is specified.
+	rowMask []uint64
+	// colMask packs the transpose: bit (i&63) of colMask[j*colW + i>>6].
+	colMask []uint64
+	rowW    int // words per row in rowMask
+	colW    int // words per column in colMask
+}
+
+// invalidateDerived drops the caches; they rebuild on next use.
+func (m *Matrix) invalidateDerived() { m.der.Store(nil) }
+
+// EnsureDerived builds the column-major mirror and the missing-value
+// bitsets if they do not exist. It is idempotent and cheap when the
+// caches already exist; lazy building is also safe under concurrent
+// readers, so this is purely a way to pay the build cost at a chosen
+// point (the FLOC engine calls it at construction).
+func (m *Matrix) EnsureDerived() {
+	if m.der.Load() == nil {
+		m.buildDerived()
+	}
+}
+
+// buildDerived constructs both caches in one row-major sweep and
+// returns them (so inlinable accessors can avoid re-loading m.der).
+// Builds serialize on derMu; racing readers get the winner's build.
+//
+//go:noinline
+func (m *Matrix) buildDerived() *derived {
+	m.derMu.Lock()
+	defer m.derMu.Unlock()
+	if d := m.der.Load(); d != nil {
+		return d
+	}
+	d := &derived{
+		rowW: (m.cols + 63) / 64,
+		colW: (m.rows + 63) / 64,
+	}
+	d.mirror = make([]float64, len(m.data))
+	d.rowMask = make([]uint64, m.rows*d.rowW)
+	d.colMask = make([]uint64, m.cols*d.colW)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			d.mirror[j*m.rows+i] = v
+			if !math.IsNaN(v) {
+				d.rowMask[i*d.rowW+j>>6] |= 1 << uint(j&63)
+				d.colMask[j*d.colW+i>>6] |= 1 << uint(i&63)
+			}
+		}
+	}
+	m.der.Store(d)
+	return d
+}
+
+// syncDerived records a single-entry update (i, j) → v in the caches,
+// if they exist. Mutators call it so a built cache never goes stale.
+func (m *Matrix) syncDerived(i, j int, v float64) {
+	d := m.der.Load()
+	if d == nil {
+		return
+	}
+	d.mirror[j*m.rows+i] = v
+	rbit := uint64(1) << uint(j&63)
+	cbit := uint64(1) << uint(i&63)
+	if math.IsNaN(v) {
+		d.rowMask[i*d.rowW+j>>6] &^= rbit
+		d.colMask[j*d.colW+i>>6] &^= cbit
+	} else {
+		d.rowMask[i*d.rowW+j>>6] |= rbit
+		d.colMask[j*d.colW+i>>6] |= cbit
+	}
+}
+
+// ColView returns column j of the column-major mirror without copying:
+// a unit-stride, read-only view whose entries are exact bit copies of
+// the row-major backing (ColView(j)[i] == RowView(i)[j], NaN for
+// missing). The view must not be written. The first call builds the
+// mirror; see EnsureDerived for the concurrency contract. Like
+// RowView it sits on toggle hot paths, so the body is kept minimal
+// enough to inline; an out-of-range j panics via the slice bounds
+// check.
+func (m *Matrix) ColView(j int) []float64 {
+	d := m.der.Load()
+	if d == nil {
+		d = m.buildDerived()
+	}
+	return d.mirror[j*m.rows : (j+1)*m.rows]
+}
+
+// RowMask returns the missing-value bitset of row i: bit (j mod 64) of
+// word j/64 is set iff entry (i, j) is specified. Read-only; the
+// backing words are shared with the matrix. See EnsureDerived for the
+// concurrency contract.
+func (m *Matrix) RowMask(i int) []uint64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of %d", i, m.rows))
+	}
+	d := m.der.Load()
+	if d == nil {
+		d = m.buildDerived()
+	}
+	return d.rowMask[i*d.rowW : (i+1)*d.rowW]
+}
+
+// ColMask returns the missing-value bitset of column j: bit (i mod 64)
+// of word i/64 is set iff entry (i, j) is specified. Read-only; see
+// EnsureDerived for the concurrency contract.
+func (m *Matrix) ColMask(j int) []uint64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of %d", j, m.cols))
+	}
+	d := m.der.Load()
+	if d == nil {
+		d = m.buildDerived()
+	}
+	return d.colMask[j*d.colW : (j+1)*d.colW]
+}
+
+// popcount sums the set bits of a word slice.
+func popcount(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,195 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+// checkDerived asserts the full derived-cache contract on m:
+// ColView(j)[i] == RowView(i)[j] bit-for-bit (NaN-aware), every mask
+// bit equals !IsNaN of the backing entry, and the popcount aggregates
+// equal their naive per-entry counts.
+func checkDerived(t *testing.T, m *Matrix) {
+	t.Helper()
+	total := 0
+	for i := 0; i < m.Rows(); i++ {
+		row := m.RowView(i)
+		mask := m.RowMask(i)
+		rowN := 0
+		for j, v := range row {
+			cv := m.ColView(j)[i]
+			if math.IsNaN(v) != math.IsNaN(cv) || (!math.IsNaN(v) && math.Float64bits(v) != math.Float64bits(cv)) {
+				t.Fatalf("ColView(%d)[%d] = %v bits %016x, RowView(%d)[%d] = %v bits %016x",
+					j, i, cv, math.Float64bits(cv), i, j, v, math.Float64bits(v))
+			}
+			rowBit := mask[j>>6]>>(uint(j&63))&1 == 1
+			colBit := m.ColMask(j)[i>>6]>>(uint(i&63))&1 == 1
+			if want := !math.IsNaN(v); rowBit != want || colBit != want {
+				t.Fatalf("entry (%d, %d): specified=%v but rowMask=%v colMask=%v", i, j, want, rowBit, colBit)
+			}
+			if !math.IsNaN(v) {
+				rowN++
+				total++
+			}
+		}
+		if got := m.RowSpecified(i); got != rowN {
+			t.Fatalf("RowSpecified(%d) = %d, want %d", i, got, rowN)
+		}
+	}
+	for j := 0; j < m.Cols(); j++ {
+		colN := 0
+		for i := 0; i < m.Rows(); i++ {
+			if m.IsSpecified(i, j) {
+				colN++
+			}
+		}
+		if got := m.ColSpecified(j); got != colN {
+			t.Fatalf("ColSpecified(%d) = %d, want %d", j, got, colN)
+		}
+	}
+	if got := m.SpecifiedCount(); got != total {
+		t.Fatalf("SpecifiedCount = %d, want %d", got, total)
+	}
+}
+
+// TestDerivedAfterMutationSequence drives every mutator with the
+// caches already built (so the in-place sync paths are exercised, not
+// just the rebuild) and asserts the contract after each step.
+func TestDerivedAfterMutationSequence(t *testing.T) {
+	nan := math.NaN()
+	m, err := NewFromRows([][]float64{
+		{1, nan, 3, 4},
+		{nan, 6, 7, nan},
+		{9, 10, nan, 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureDerived()
+	checkDerived(t, m)
+
+	steps := []struct {
+		name string
+		op   func()
+	}{
+		{"Set specified→specified", func() { m.Set(0, 0, 42) }},
+		{"Set missing→specified", func() { m.Set(0, 1, -1) }},
+		{"Set specified→missing", func() { m.Set(2, 3, nan) }},
+		{"SetMissing", func() { m.SetMissing(0, 2) }},
+		{"ShiftRow", func() { m.ShiftRow(1, 2.5) }},
+		{"ShiftCol", func() { m.ShiftCol(1, -0.5) }},
+		{"ScaleRow", func() { m.ScaleRow(2, 3) }},
+		{"ScaleRow 0·Inf→missing", func() { m.Set(2, 0, 0); m.ScaleRow(2, math.Inf(1)) }},
+		{"MutRow invalidates", func() {
+			row := m.MutRow(0)
+			row[0], row[1] = nan, 8
+		}},
+		{"Set after MutRow", func() { m.Set(1, 1, 0.25) }},
+	}
+	for _, s := range steps {
+		s.op()
+		checkDerived(t, m)
+		if t.Failed() {
+			t.Fatalf("contract broken after %q", s.name)
+		}
+	}
+}
+
+// TestDerivedLazyBuildMatchesSyncedBuild proves order independence:
+// mutating first and building the caches later yields the same caches
+// as building first and syncing through every mutation.
+func TestDerivedLazyBuildMatchesSyncedBuild(t *testing.T) {
+	mutate := func(m *Matrix) {
+		m.Set(0, 0, 5)
+		m.ShiftRow(1, 1)
+		m.SetMissing(1, 2)
+		m.ShiftCol(0, -3)
+		m.ScaleRow(0, 2)
+	}
+	mk := func() *Matrix {
+		m, err := NewFromRows([][]float64{
+			{1, 2, math.NaN()},
+			{4, 5, 6},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	synced := mk()
+	synced.EnsureDerived() // caches live through the mutations
+	mutate(synced)
+	lazy := mk()
+	mutate(lazy) // caches built only at the final check
+	checkDerived(t, synced)
+	checkDerived(t, lazy)
+	if !synced.Equal(lazy) {
+		t.Fatal("synced and lazy matrices diverged")
+	}
+}
+
+// TestColViewReflectsClone verifies a clone starts with fresh caches:
+// mutating the clone never leaks into the original's views.
+func TestColViewReflectsClone(t *testing.T) {
+	m, err := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnsureDerived()
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.ColView(0)[0] != 1 {
+		t.Fatalf("clone mutation leaked into original's ColView: %v", m.ColView(0)[0])
+	}
+	if c.ColView(0)[0] != 99 {
+		t.Fatalf("clone ColView missed its own mutation: %v", c.ColView(0)[0])
+	}
+}
+
+// FuzzDerivedConsistency feeds random mutation programs (opcode and
+// operands drawn from fuzz bytes) through a small matrix, with the
+// caches built at a fuzz-chosen point, and asserts the mirror/bitset
+// contract at the end. It is the adversarial version of the scripted
+// sequence test above.
+func FuzzDerivedConsistency(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{5, 0, 5, 1, 5, 2})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const rows, cols = 5, 7
+		m := New(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if (i+j)%3 != 0 {
+					m.Set(i, j, float64(i*cols+j))
+				}
+			}
+		}
+		for pc := 0; pc+1 < len(program); pc += 2 {
+			op, arg := program[pc], int(program[pc+1])
+			switch op % 7 {
+			case 0:
+				m.Set(arg%rows, (arg/rows)%cols, float64(arg))
+			case 1:
+				m.SetMissing(arg%rows, (arg/rows)%cols)
+			case 2:
+				m.ShiftRow(arg%rows, float64(arg%5)-2)
+			case 3:
+				m.ShiftCol(arg%cols, float64(arg%5)-2)
+			case 4:
+				m.ScaleRow(arg%rows, float64(arg%3))
+			case 5:
+				row := m.MutRow(arg % rows)
+				for j := range row {
+					if (arg+j)%4 == 0 {
+						row[j] = math.NaN()
+					} else {
+						row[j] = float64(arg + j)
+					}
+				}
+			case 6:
+				m.EnsureDerived() // build mid-program; later ops must sync
+			}
+		}
+		checkDerived(t, m)
+	})
+}

@@ -14,6 +14,8 @@ package matrix
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Matrix is a dense rows×cols matrix with optional missing entries.
@@ -22,6 +24,16 @@ import (
 type Matrix struct {
 	rows, cols int
 	data       []float64 // row-major; NaN encodes a missing entry
+
+	// der holds the lazily built derived read caches — the
+	// column-major mirror and the missing-value bitsets (derived.go).
+	// nil until first use; mutators keep it in sync or drop it. The
+	// pointer is atomic and builds serialize on derMu so that pure
+	// read accessors (ColView, SpecifiedCount, ...) stay safe for
+	// concurrent readers even when the first of them triggers the
+	// build.
+	der   atomic.Pointer[derived]
+	derMu sync.Mutex
 
 	// Optional labels. When present, len(RowLabels) == rows and
 	// len(ColLabels) == cols; I/O round-trips them.
@@ -77,6 +89,7 @@ func (m *Matrix) Get(i, j int) float64 {
 func (m *Matrix) Set(i, j int, v float64) {
 	m.check(i, j)
 	m.data[i*m.cols+j] = v
+	m.syncDerived(i, j, v)
 }
 
 // SetMissing marks (i, j) missing.
@@ -110,6 +123,10 @@ func (m *Matrix) Col(j int) []float64 {
 		panic(fmt.Sprintf("matrix: col %d out of %d", j, m.cols))
 	}
 	out := make([]float64, m.rows)
+	if d := m.der.Load(); d != nil {
+		copy(out, d.mirror[j*m.rows:(j+1)*m.rows])
+		return out
+	}
 	for i := 0; i < m.rows; i++ {
 		out[i] = m.data[i*m.cols+j]
 	}
@@ -117,12 +134,24 @@ func (m *Matrix) Col(j int) []float64 {
 }
 
 // RowView returns the underlying storage of row i without copying.
-// The caller must not grow the slice; writes alter the matrix. The
-// cluster aggregates use it on hot paths.
+// The view is READ-ONLY: writing through it would silently desync the
+// derived caches (column mirror, missing-value bitsets). Writers use
+// MutRow instead. The cluster aggregates call RowView once per member
+// row per residue scan, so the body is kept minimal enough to inline;
+// an out-of-range i panics via the slice bounds check.
 func (m *Matrix) RowView(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// MutRow returns writable storage of row i and invalidates the derived
+// caches, which rebuild lazily on next use. It is the bulk-write
+// counterpart of Set for generators and maskers that fill rows in
+// place; for reads, use RowView (no invalidation).
+func (m *Matrix) MutRow(i int) []float64 {
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("matrix: row %d out of %d", i, m.rows))
 	}
+	m.invalidateDerived()
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
@@ -139,15 +168,14 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
-// SpecifiedCount returns the number of specified (non-missing) entries.
+// SpecifiedCount returns the number of specified (non-missing) entries
+// by popcounting the missing-value bitset, word-at-a-time.
 func (m *Matrix) SpecifiedCount() int {
-	n := 0
-	for _, v := range m.data {
-		if !math.IsNaN(v) {
-			n++
-		}
+	d := m.der.Load()
+	if d == nil {
+		d = m.buildDerived()
 	}
-	return n
+	return popcount(d.rowMask)
 }
 
 // FillFraction returns SpecifiedCount divided by rows*cols, or 0 for an
@@ -160,29 +188,16 @@ func (m *Matrix) FillFraction() float64 {
 	return float64(m.SpecifiedCount()) / float64(total)
 }
 
-// RowSpecified returns how many entries of row i are specified.
+// RowSpecified returns how many entries of row i are specified
+// (word-at-a-time over the row's bitset).
 func (m *Matrix) RowSpecified(i int) int {
-	n := 0
-	for _, v := range m.RowView(i) {
-		if !math.IsNaN(v) {
-			n++
-		}
-	}
-	return n
+	return popcount(m.RowMask(i))
 }
 
-// ColSpecified returns how many entries of column j are specified.
+// ColSpecified returns how many entries of column j are specified
+// (word-at-a-time over the column's bitset).
 func (m *Matrix) ColSpecified(j int) int {
-	if j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("matrix: col %d out of %d", j, m.cols))
-	}
-	n := 0
-	for i := 0; i < m.rows; i++ {
-		if !math.IsNaN(m.data[i*m.cols+j]) {
-			n++
-		}
-	}
-	return n
+	return popcount(m.ColMask(j))
 }
 
 // Submatrix returns a new matrix restricted to the given row and

@@ -17,7 +17,7 @@ import (
 func LogTransform(m *Matrix) (*Matrix, error) {
 	out := m.Clone()
 	for i := 0; i < m.Rows(); i++ {
-		row := out.RowView(i)
+		row := out.MutRow(i)
 		for j, v := range row {
 			if math.IsNaN(v) {
 				continue
@@ -31,39 +31,54 @@ func LogTransform(m *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
-// ShiftRow adds offset to every specified entry of row i, in place.
-// Shifting a row leaves every residue in internal/cluster unchanged
-// (the object base absorbs the offset) — the property the model is
-// built on, and what the property-based tests assert.
+// ShiftRow adds offset to every specified entry of row i, in place,
+// keeping the derived caches in sync. Shifting a row leaves every
+// residue in internal/cluster unchanged (the object base absorbs the
+// offset) — the property the model is built on, and what the
+// property-based tests assert.
 func (m *Matrix) ShiftRow(i int, offset float64) {
-	row := m.RowView(i)
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of %d", i, m.rows))
+	}
+	row := m.data[i*m.cols : (i+1)*m.cols]
 	for j, v := range row {
 		if !math.IsNaN(v) {
-			row[j] = v + offset
+			nv := v + offset
+			row[j] = nv
+			m.syncDerived(i, j, nv)
 		}
 	}
 }
 
-// ShiftCol adds offset to every specified entry of column j, in place.
+// ShiftCol adds offset to every specified entry of column j, in place,
+// keeping the derived caches in sync.
 func (m *Matrix) ShiftCol(j int, offset float64) {
 	if j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("matrix: col %d out of %d", j, m.cols))
 	}
 	for i := 0; i < m.rows; i++ {
 		if v := m.data[i*m.cols+j]; !math.IsNaN(v) {
-			m.data[i*m.cols+j] = v + offset
+			nv := v + offset
+			m.data[i*m.cols+j] = nv
+			m.syncDerived(i, j, nv)
 		}
 	}
 }
 
 // ScaleRow multiplies every specified entry of row i by factor, in
-// place. Together with LogTransform it exercises the amplification
-// form of coherence.
+// place, keeping the derived caches in sync (a specified entry can
+// turn missing here: 0·Inf scales to NaN). Together with LogTransform
+// it exercises the amplification form of coherence.
 func (m *Matrix) ScaleRow(i int, factor float64) {
-	row := m.RowView(i)
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of %d", i, m.rows))
+	}
+	row := m.data[i*m.cols : (i+1)*m.cols]
 	for j, v := range row {
 		if !math.IsNaN(v) {
-			row[j] = v * factor
+			nv := v * factor
+			row[j] = nv
+			m.syncDerived(i, j, nv)
 		}
 	}
 }
@@ -98,7 +113,7 @@ func DeriveDifferences(m *Matrix) (*Matrix, [][2]int) {
 	}
 	for i := 0; i < m.Rows(); i++ {
 		src := m.RowView(i)
-		dst := out.RowView(i)
+		dst := out.MutRow(i)
 		for d, p := range pairs {
 			a, b := src[p[0]], src[p[1]]
 			if math.IsNaN(a) || math.IsNaN(b) {

@@ -145,7 +145,7 @@ func Generate(cfg Config, seed int64) (*Dataset, error) {
 
 	// Background.
 	for i := 0; i < cfg.Rows; i++ {
-		row := m.RowView(i)
+		row := m.MutRow(i)
 		for j := range row {
 			row[j] = rng.Uniform(cfg.BackgroundLo, cfg.BackgroundHi)
 		}
@@ -240,7 +240,7 @@ func Generate(cfg Config, seed int64) (*Dataset, error) {
 			colBias[j] = rng.Uniform(-cfg.BiasSpread, cfg.BiasSpread)
 		}
 		for _, i := range rows {
-			row := m.RowView(i)
+			row := m.MutRow(i)
 			for _, j := range cols {
 				val := base + rowBias[i] + colBias[j]
 				if noiseSigma > 0 {
@@ -254,7 +254,7 @@ func Generate(cfg Config, seed int64) (*Dataset, error) {
 
 	if cfg.Integer {
 		for i := 0; i < cfg.Rows; i++ {
-			row := m.RowView(i)
+			row := m.MutRow(i)
 			for j, v := range row {
 				if !math.IsNaN(v) {
 					row[j] = math.Round(v)
