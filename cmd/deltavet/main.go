@@ -7,31 +7,50 @@
 //	floatcmp         – no raw ==/!= between floats in deterministic packages
 //	ctxfirst         – context.Context first in signatures, never in struct fields
 //	residueinvariant – residue/base caches have a single approved writer set
+//	hotalloc         – no allocation-inducing constructs on deltavet:hotpath functions
+//	derivedcache     – derived-state types mutated only by registered writers
+//	goroutinelife    – every goroutine launch carries lifecycle evidence
+//	walltime         – no wall-clock dependence in deterministic packages
+//	checkpointerr    – no silently discarded errors on the durability chain
 //
 // By default it also shells out to `go vet` first so one command
 // gives the full static verdict. Usage:
 //
 //	go run ./cmd/deltavet ./...
 //
-// Exit status is 0 when no analyzer reports a finding, 1 otherwise,
-// and 2 on loading/usage errors. Findings are printed one per line as
-// file:line:col: message [analyzer].
+// Modes beyond the default text report:
+//
+//	-json            machine-readable findings (the CI analysis job's artifact)
+//	-fix             apply each finding's first suggested fix and rewrite files
+//	-baseline FILE   grandfathered findings to tolerate (default: deltavet.baseline
+//	                 at the module root, when present)
+//	-write-baseline  regenerate the baseline from the current findings
+//
+// Exit status is 0 when no non-baselined finding remains, 1 otherwise,
+// and 2 on loading/usage errors. Text findings are printed one per
+// line as file:line:col: message [analyzer].
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
-	"strings"
+	"sort"
 
 	"deltacluster/internal/analysis"
+	"deltacluster/internal/analysis/checkpointerr"
 	"deltacluster/internal/analysis/ctxfirst"
+	"deltacluster/internal/analysis/derivedcache"
 	"deltacluster/internal/analysis/floatcmp"
+	"deltacluster/internal/analysis/goroutinelife"
+	"deltacluster/internal/analysis/hotalloc"
 	"deltacluster/internal/analysis/maporder"
 	"deltacluster/internal/analysis/residueinvariant"
 	"deltacluster/internal/analysis/seededrand"
+	"deltacluster/internal/analysis/walltime"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -40,14 +59,50 @@ var analyzers = []*analysis.Analyzer{
 	floatcmp.Analyzer,
 	ctxfirst.Analyzer,
 	residueinvariant.Analyzer,
+	hotalloc.Analyzer,
+	derivedcache.Analyzer,
+	goroutinelife.Analyzer,
+	walltime.Analyzer,
+	checkpointerr.Analyzer,
+}
+
+// defaultBaseline is the checked-in baseline filename, resolved
+// against the module root.
+const defaultBaseline = "deltavet.baseline"
+
+// finding is one diagnostic in the JSON report.
+type finding struct {
+	Analyzer  string `json:"analyzer"`
+	File      string `json:"file"` // slash-relative to the module root
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined"`
+	Fixable   bool   `json:"fixable"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Findings  []finding `json:"findings"`
+	Total     int       `json:"total"`
+	Baselined int       `json:"baselined"`
+	New       int       `json:"new"` // total - baselined; the gate fails when > 0
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	novet := flag.Bool("novet", false, "skip running `go vet` before the custom analyzers")
 	list := flag.Bool("help-analyzers", false, "print the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON report on stdout")
+	fix := flag.Bool("fix", false, "apply each finding's first suggested fix and rewrite the files")
+	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings (default: deltavet.baseline at the module root, when present)")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the baseline file from the current findings and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: deltavet [flags] [packages]\n\n")
-		fmt.Fprintf(os.Stderr, "Runs the repository's determinism and residue-invariant analyzers\n")
+		fmt.Fprintf(os.Stderr, "Runs the repository's determinism, hot-path and lifecycle analyzers\n")
 		fmt.Fprintf(os.Stderr, "over the given package patterns (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
@@ -56,54 +111,176 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	if !*novet {
+	if !*novet && !*jsonOut {
 		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
 		vet.Stdout = os.Stdout
 		vet.Stderr = os.Stderr
 		if err := vet.Run(); err != nil {
 			fmt.Fprintf(os.Stderr, "deltavet: go vet failed: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deltavet: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deltavet: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deltavet: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	cwd, err := os.Getwd()
-	if err != nil {
-		cwd = ""
+
+	if *fix {
+		return applyFixes(loader, diags)
 	}
+
+	// Resolve the baseline: explicit flag, else the checked-in default
+	// when it exists.
+	var baseline *analysis.Baseline
+	blPath := *baselinePath
+	if blPath == "" {
+		p := filepath.Join(loader.ModRoot, defaultBaseline)
+		if _, err := os.Stat(p); err == nil {
+			blPath = p
+		}
+	}
+	if blPath != "" && !*writeBaseline {
+		data, err := os.ReadFile(blPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deltavet: %v\n", err)
+			return 2
+		}
+		baseline, err = analysis.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deltavet: %s: %v\n", blPath, err)
+			return 2
+		}
+	}
+
+	rep := buildReport(loader, diags, baseline)
+
+	if *writeBaseline {
+		if blPath == "" {
+			blPath = filepath.Join(loader.ModRoot, defaultBaseline)
+		}
+		entries := make([]string, 0, len(rep.Findings))
+		for _, f := range rep.Findings {
+			entries = append(entries, analysis.BaselineEntry(f.Analyzer, f.File, f.Message))
+		}
+		if err := os.WriteFile(blPath, analysis.FormatBaseline(entries), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "deltavet: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "deltavet: wrote %d finding(s) to %s\n", len(rep.Findings), blPath)
+		return 0
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "deltavet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range rep.Findings {
+			suffix := ""
+			if f.Baselined {
+				suffix = " (baselined)"
+			}
+			fmt.Printf("%s:%d:%d: %s [%s]%s\n", f.File, f.Line, f.Col, f.Message, f.Analyzer, suffix)
+		}
+	}
+	if rep.New > 0 {
+		fmt.Fprintf(os.Stderr, "deltavet: %d new finding(s) (%d baselined) in %d package(s)\n",
+			rep.New, rep.Baselined, len(pkgs))
+		return 1
+	}
+	if rep.Baselined > 0 && !*jsonOut {
+		fmt.Fprintf(os.Stderr, "deltavet: clean apart from %d baselined finding(s)\n", rep.Baselined)
+	}
+	return 0
+}
+
+// buildReport renders diagnostics as module-root-relative findings and
+// marks the baselined ones.
+func buildReport(loader *analysis.Loader, diags []analysis.Diagnostic, baseline *analysis.Baseline) report {
+	rep := report{Findings: []finding{}}
 	for _, d := range diags {
 		pos := loader.Fset().Position(d.Pos)
 		name := pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
+		if rel, err := filepath.Rel(loader.ModRoot, name); err == nil {
+			name = filepath.ToSlash(rel)
 		}
-		fmt.Printf("%s:%d:%d: %s [%s]\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+		f := finding{
+			Analyzer:  d.Analyzer,
+			File:      name,
+			Line:      pos.Line,
+			Col:       pos.Column,
+			Message:   d.Message,
+			Baselined: baseline.Contains(d.Analyzer, name, d.Message),
+			Fixable:   len(d.SuggestedFixes) > 0,
+		}
+		rep.Findings = append(rep.Findings, f)
+		rep.Total++
+		if f.Baselined {
+			rep.Baselined++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "deltavet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+	rep.New = rep.Total - rep.Baselined
+	return rep
+}
+
+// applyFixes rewrites every file touched by a first suggested fix.
+// Re-run deltavet afterwards for the residual verdict; the analyzers'
+// idempotence contract guarantees a second -fix run is a no-op.
+func applyFixes(loader *analysis.Loader, diags []analysis.Diagnostic) int {
+	fixed, err := analysis.ApplyFixes(loader.Fset(), diags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deltavet: %v\n", err)
+		return 2
 	}
+	if len(fixed) == 0 {
+		fmt.Fprintln(os.Stderr, "deltavet: no applicable fixes")
+		return 0
+	}
+	fixable := 0
+	for _, d := range diags {
+		if len(d.SuggestedFixes) > 0 {
+			fixable++
+		}
+	}
+	names := make([]string, 0, len(fixed))
+	for name := range fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := os.WriteFile(name, fixed[name], 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "deltavet: %v\n", err)
+			return 2
+		}
+		rel := name
+		if r, err := filepath.Rel(loader.ModRoot, name); err == nil {
+			rel = filepath.ToSlash(r)
+		}
+		fmt.Printf("fixed %s\n", rel)
+	}
+	fmt.Fprintf(os.Stderr, "deltavet: applied fixes for %d finding(s) across %d file(s); re-run deltavet to verify\n",
+		fixable, len(fixed))
+	return 0
 }

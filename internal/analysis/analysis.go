@@ -2,20 +2,23 @@
 // framework modeled on golang.org/x/tools/go/analysis. It exists
 // because this repository's correctness claims — seeded, replayable
 // FLOC runs whose residue bookkeeping stays exactly consistent after
-// every toggle — are easy to break with ordinary Go: an unordered map
+// every toggle, bit-identical at any worker count, with a zero-alloc
+// decide phase — are easy to break with ordinary Go: an unordered map
 // range in a scoring loop, a stray math/rand global call, a raw ==
-// between float64 residues. The deltavet analyzers (subpackages
-// maporder, seededrand, floatcmp and residueinvariant) turn those
-// disciplines into machine-checked invariants; cmd/deltavet is the
-// multichecker driver that runs them over the module.
+// between float64 residues, an fmt.Sprintf on the residue kernel, a
+// goroutine with no owner. The deltavet analyzers (subpackages
+// maporder, seededrand, floatcmp, ctxfirst, residueinvariant,
+// hotalloc, derivedcache, goroutinelife, walltime and checkpointerr)
+// turn those disciplines into machine-checked invariants; cmd/deltavet
+// is the multichecker driver that runs them over the module.
 //
 // The framework deliberately mirrors the x/tools API surface
-// (Analyzer, Pass, Diagnostic) so the analyzers can migrate to the
-// real go/analysis framework verbatim if the dependency ever becomes
-// available. Only the loader (load.go) is bespoke: it type-checks the
-// module from source with a go/types importer that resolves
-// module-internal packages itself and delegates the standard library
-// to the compiler's source importer.
+// (Analyzer, Pass, Diagnostic, SuggestedFix, object facts) so the
+// analyzers can migrate to the real go/analysis framework with little
+// friction if the dependency ever becomes available. Only the loader
+// (load.go) is bespoke: it type-checks the module from source with a
+// go/types importer that resolves module-internal packages itself and
+// delegates the standard library to the compiler's source importer.
 //
 // # Source markers
 //
@@ -24,18 +27,45 @@
 //
 //   - "deltavet:deterministic" in any comment of a package opts the
 //     package into the determinism suite (maporder, seededrand,
-//     floatcmp).
+//     floatcmp, walltime).
 //   - "deltavet:guard" on a struct field marks it as part of a cached
 //     invariant (residues, running sums); only functions whose doc
 //     comment carries "deltavet:writer" may assign to it
 //     (residueinvariant).
+//   - "deltavet:derived-cache" on a struct type declaration marks the
+//     whole type as derived state rebuilt from a source of truth;
+//     every field write, and every Store/Swap on an atomic.Pointer to
+//     it, must happen in a deltavet:writer function (derivedcache).
+//   - "deltavet:hotpath" on a function's doc comment puts it — and,
+//     transitively, everything it statically calls within the
+//     analyzed packages — under the allocation-free discipline
+//     checked by hotalloc.
+//   - "deltavet:coldpath" on a function's doc comment stops that
+//     transitive propagation: the function is reachable from a hot
+//     path in the source but never taken in steady state (one-time
+//     cache builds, amortized growth).
+//   - "deltavet:observability" on a function's doc comment permits
+//     wall-clock reads (time.Now/Since) inside it in deterministic
+//     packages: the values feed only reporting fields, logs or
+//     metrics, never fingerprinted or checkpointed state (walltime).
 //   - "deltavet:approx-helper" on a function's doc comment allows raw
 //     float comparisons inside it — the epsilon helpers themselves
 //     need ==/!= to define tolerance semantics.
-//   - "deltavet:ignore <analyzer> -- <reason>" on the flagged line (or
-//     the line above) suppresses one analyzer's diagnostics for that
-//     line. The reason is mandatory by convention and reviewed like
-//     code.
+//
+// # Suppression
+//
+// A finding is suppressed line by line:
+//
+//	//deltavet:ignore <analyzer>[,<analyzer>] reason=<justification>
+//
+// on the flagged line or the line above. The legacy form
+// "deltavet:ignore <analyzer> -- <justification>" is still accepted.
+// The reason is mandatory: a directive without one is itself reported
+// (analyzer name "deltavet"), so every suppression carries a reviewed
+// argument. For findings that predate an analyzer, prefer the
+// checked-in baseline (baseline.go, deltavet -write-baseline) over
+// sprinkling directives: the baseline shrinks monotonically while
+// directives tend to stay.
 package analysis
 
 import (
@@ -63,6 +93,13 @@ type Analyzer struct {
 	// pass.Report. The returned value is unused by the driver (it
 	// exists for API parity with x/tools facts/results).
 	Run func(pass *Pass) (any, error)
+
+	// RunModule, if non-nil, replaces Run: the analyzer sees every
+	// loaded package at once (one Pass per package, sharing a fact
+	// store) and may propagate facts across package boundaries before
+	// reporting. hotalloc uses this to learn hotpath-ness through the
+	// call graph.
+	RunModule func(mp *ModulePass) error
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -79,13 +116,84 @@ type Pass struct {
 	// suppressed diagnostics (deltavet:ignore) before they reach the
 	// driver or the test harness.
 	Report func(Diagnostic)
+
+	facts *FactSet
+}
+
+// A ModulePass is the whole-module view handed to Analyzer.RunModule:
+// one Pass per loaded package, in deterministic import-path order.
+type ModulePass struct {
+	Passes []*Pass
+}
+
+// A FactSet carries analyzer-scoped facts about types.Objects across
+// package boundaries within one RunAnalyzers call. It is the
+// framework's (much simplified) analogue of x/tools object facts.
+type FactSet struct {
+	m map[factKey][]any
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// ExportObjectFact attaches fact to obj under this pass's analyzer.
+// Facts are visible from every other Pass of the same RunAnalyzers
+// call, regardless of package.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	key := factKey{p.Analyzer.Name, obj}
+	p.facts.m[key] = append(p.facts.m[key], fact)
+}
+
+// ObjectFacts returns every fact exported for obj by this pass's
+// analyzer, in export order.
+func (p *Pass) ObjectFacts(obj types.Object) []any {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.m[factKey{p.Analyzer.Name, obj}]
+}
+
+// AnalyzerFacts returns the facts another analyzer exported for obj;
+// it lets a later analyzer in the driver's list consume an earlier
+// one's conclusions.
+func (p *Pass) AnalyzerFacts(analyzer string, obj types.Object) []any {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.m[factKey{analyzer, obj}]
+}
+
+// A TextEdit describes one source replacement: the bytes in [Pos, End)
+// are replaced by NewText. A pure insertion has Pos == End.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// A SuggestedFix is one self-contained repair for a diagnostic: a set
+// of non-overlapping edits that, applied together, make the finding
+// disappear. Fixes must be idempotent at the analyzer level: re-running
+// the analyzer over fixed source must produce no further fixes
+// (analysistest.RunWithSuggestedFixes enforces the round trip). The
+// driver's -fix mode applies the first fix of each diagnostic, so
+// analyzers order fixes most-conservative first.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // A Diagnostic is one finding, anchored to a source position.
 type Diagnostic struct {
-	Pos      token.Pos
-	Message  string
-	Analyzer string // filled by the framework
+	Pos            token.Pos
+	Message        string
+	Analyzer       string // filled by the framework
+	SuggestedFixes []SuggestedFix
 }
 
 // Reportf formats and reports a diagnostic at pos.
@@ -101,12 +209,29 @@ const DeterministicMarker = "deltavet:deterministic"
 const GuardMarker = "deltavet:guard"
 
 // WriterMarker marks a function as an approved writer of guarded
-// fields.
+// fields and derived-cache state.
 const WriterMarker = "deltavet:writer"
 
 // ApproxHelperMarker marks a function as an approved epsilon helper
 // in which raw float comparisons are allowed.
 const ApproxHelperMarker = "deltavet:approx-helper"
+
+// HotPathMarker puts a function (and its static callees,
+// transitively) under the hotalloc allocation discipline.
+const HotPathMarker = "deltavet:hotpath"
+
+// ColdPathMarker exempts a function from transitive hotpath
+// propagation: reachable from a hot path, never taken in steady
+// state.
+const ColdPathMarker = "deltavet:coldpath"
+
+// ObservabilityMarker permits wall-clock reads in a function of a
+// deterministic package: the readings feed reporting only.
+const ObservabilityMarker = "deltavet:observability"
+
+// DerivedCacheMarker marks a struct type as derived state with
+// registered writers only.
+const DerivedCacheMarker = "deltavet:derived-cache"
 
 // PackageMarked reports whether any comment in the package's files
 // contains the marker string.
@@ -155,19 +280,35 @@ func EnclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
 	return nil
 }
 
-var ignoreRe = regexp.MustCompile(`deltavet:ignore\s+([a-z, ]+)`)
+// ignoreRe matches both suppression grammars:
+//
+//	deltavet:ignore name[,name] reason=<text>
+//	deltavet:ignore name[,name] -- <text>      (legacy)
+//
+// Group 1 is the analyzer list; group 2/3 the reason (whichever form
+// was used).
+var ignoreRe = regexp.MustCompile(`deltavet:ignore\s+([a-z][a-z, ]*?)\s*(?:reason=(.*)|--\s*(.*))?$`)
 
-// suppressedLines maps analyzer name -> set of file:line keys on
-// which that analyzer is suppressed via deltavet:ignore directives. A
-// directive suppresses its own line and, when it is the only thing on
-// its line, the following line.
-func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
-	out := map[string]map[string]bool{}
+// suppression is the per-package view of every deltavet:ignore
+// directive: which (analyzer, file:line) pairs are silenced, plus the
+// positions of malformed (reason-less) directives.
+type suppression struct {
+	lines     map[string]map[string]bool // analyzer -> file:line -> suppressed
+	malformed []token.Pos
+}
+
+// suppressedLines scans the package's comments for deltavet:ignore
+// directives. A directive suppresses its own line and, when it is the
+// only thing on its line, the following line. A directive without a
+// reason is recorded as malformed; the framework reports it under the
+// pseudo-analyzer name "deltavet".
+func suppressedLines(fset *token.FileSet, files []*ast.File) suppression {
+	sup := suppression{lines: map[string]map[string]bool{}}
 	add := func(name, key string) {
-		if out[name] == nil {
-			out[name] = map[string]bool{}
+		if sup.lines[name] == nil {
+			sup.lines[name] = map[string]bool{}
 		}
-		out[name][key] = true
+		sup.lines[name][key] = true
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -175,6 +316,11 @@ func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[stri
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
+				}
+				reason := m[2] + m[3]
+				if strings.TrimSpace(reason) == "" {
+					sup.malformed = append(sup.malformed, c.Pos())
+					continue // a reason-less directive does not suppress
 				}
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.Split(m[1], ",") {
@@ -188,18 +334,35 @@ func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[stri
 			}
 		}
 	}
-	return out
+	return sup
 }
 
 // RunAnalyzers applies each analyzer to each package and returns the
 // surviving diagnostics sorted by position. Suppression directives
 // are honored here so every consumer (driver, tests) sees the same
-// view.
+// view; malformed (reason-less) directives surface as findings of the
+// pseudo-analyzer "deltavet". Module analyzers (RunModule) observe
+// every package at once and share a fact store.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		suppressed := suppressedLines(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
+	facts := &FactSet{m: map[factKey][]any{}}
+
+	sups := make([]suppression, len(pkgs))
+	for i, pkg := range pkgs {
+		sups[i] = suppressedLines(pkg.Fset, pkg.Files)
+		for _, pos := range sups[i].malformed {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "deltavet",
+				Message:  "deltavet:ignore directive without a reason; write `deltavet:ignore <analyzer> reason=<justification>`",
+			})
+		}
+	}
+
+	for _, a := range analyzers {
+		passes := make([]*Pass, len(pkgs))
+		for i, pkg := range pkgs {
+			sup := sups[i]
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -207,17 +370,27 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:       pkg.Types,
 				PkgPath:   pkg.Path,
 				TypesInfo: pkg.Info,
+				facts:     facts,
 			}
 			pass.Report = func(d Diagnostic) {
 				d.Analyzer = a.Name
 				p := pkg.Fset.Position(d.Pos)
-				if suppressed[a.Name][fmt.Sprintf("%s:%d", p.Filename, p.Line)] {
+				if sup.lines[a.Name][fmt.Sprintf("%s:%d", p.Filename, p.Line)] {
 					return
 				}
 				diags = append(diags, d)
 			}
+			passes[i] = pass
+		}
+		if a.RunModule != nil {
+			if err := a.RunModule(&ModulePass{Passes: passes}); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			continue
+		}
+		for i, pass := range passes {
 			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+				return nil, fmt.Errorf("%s: %s: %w", pkgs[i].Path, a.Name, err)
 			}
 		}
 	}

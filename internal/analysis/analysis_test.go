@@ -1,0 +1,230 @@
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deltacluster/internal/analysis"
+)
+
+// loadSnippet type-checks one in-memory file as a throwaway package
+// and returns it wrapped for RunAnalyzers.
+func loadSnippet(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "fixture/snippet")
+	if err != nil {
+		t.Fatalf("loading snippet: %v", err)
+	}
+	return pkg
+}
+
+// reportAt is a toy analyzer that flags every return statement, with a
+// fix that deletes nothing (so suppression is the only variable).
+var reportAll = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "flags every return statement",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				pass.Reportf(d.Pos(), "decl flagged")
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	pkg := loadSnippet(t, `package p
+
+//deltavet:ignore toy reason=fixture exercises suppression
+func a() {}
+
+func b() {}
+`)
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only b): %v", len(diags), diags)
+	}
+	if pos := pkg.Fset.Position(diags[0].Pos); pos.Line != 6 {
+		t.Errorf("surviving diagnostic at line %d, want 6 (func b)", pos.Line)
+	}
+}
+
+func TestIgnoreDirectiveLegacyForm(t *testing.T) {
+	pkg := loadSnippet(t, `package p
+
+//deltavet:ignore toy -- legacy double-dash justification
+func a() {}
+`)
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("legacy form did not suppress: %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveMultipleAnalyzers(t *testing.T) {
+	pkg := loadSnippet(t, `package p
+
+//deltavet:ignore toy,other reason=both names silenced
+func a() {}
+`)
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("comma list did not suppress: %v", diags)
+	}
+}
+
+func TestIgnoreWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	pkg := loadSnippet(t, `package p
+
+//deltavet:ignore other reason=names a different analyzer
+func a() {}
+`)
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("directive for another analyzer suppressed toy: %v", diags)
+	}
+}
+
+func TestReasonlessDirectiveReportedAndInert(t *testing.T) {
+	pkg := loadSnippet(t, `package p
+
+//deltavet:ignore toy
+func a() {}
+`)
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawToy bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "deltavet":
+			sawMalformed = true
+			if !strings.Contains(d.Message, "without a reason") {
+				t.Errorf("malformed-directive message = %q", d.Message)
+			}
+		case "toy":
+			sawToy = true
+		}
+	}
+	if !sawMalformed {
+		t.Error("reason-less directive was not reported")
+	}
+	if !sawToy {
+		t.Error("reason-less directive suppressed the finding it should not")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	entries := []string{
+		analysis.BaselineEntry("hotalloc", "internal/floc/gain.go", "make in hot function f"),
+		analysis.BaselineEntry("walltime", "internal/clique/clique.go", "time.Now in deterministic package clique"),
+		analysis.BaselineEntry("hotalloc", "internal/floc/gain.go", "make in hot function f"), // dup: dropped
+	}
+	data := analysis.FormatBaseline(entries)
+	b, err := analysis.ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("parsing formatted baseline: %v", err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (dedup)", b.Len())
+	}
+	if !b.Contains("hotalloc", "internal/floc/gain.go", "make in hot function f") {
+		t.Error("baselined finding not found")
+	}
+	if b.Contains("hotalloc", "internal/floc/gain.go", "other message") {
+		t.Error("message is not part of the key")
+	}
+	if b.Contains("walltime", "internal/floc/gain.go", "make in hot function f") {
+		t.Error("analyzer is not part of the key")
+	}
+	// Idempotent format: parsing and re-formatting the same entries is
+	// byte-identical (sorted, deduped, same header).
+	if string(analysis.FormatBaseline(entries)) != string(data) {
+		t.Error("FormatBaseline is not deterministic")
+	}
+}
+
+func TestBaselineRejectsMalformedLine(t *testing.T) {
+	if _, err := analysis.ParseBaseline([]byte("hotalloc only-two-fields\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := analysis.ParseBaseline([]byte("# comment\n\n")); err != nil {
+		t.Errorf("comments and blanks rejected: %v", err)
+	}
+}
+
+func TestApplyFixesDedupAndOverlap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	src := "package p\n\nfunc a() {}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := f.Name.End() // right after "p"
+	ins := func(text string) analysis.Diagnostic {
+		return analysis.Diagnostic{
+			Pos: pos,
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message: "insert",
+				Edits:   []analysis.TextEdit{{Pos: pos, End: pos, NewText: text}},
+			}},
+		}
+	}
+	// Two diagnostics proposing the identical edit: applied once.
+	fixed, err := analysis.ApplyFixes(fset, []analysis.Diagnostic{ins("X"), ins("X")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(fixed[path]); got != "package pX\n\nfunc a() {}\n" {
+		t.Errorf("duplicate edits not deduplicated: %q", got)
+	}
+	// Overlapping replacements: first (lowest-position) wins, the
+	// second is dropped rather than corrupting the file.
+	start := fset.File(f.Pos()).Pos(0)
+	over := []analysis.Diagnostic{
+		{Pos: start, SuggestedFixes: []analysis.SuggestedFix{{
+			Edits: []analysis.TextEdit{{Pos: start, End: start + 7, NewText: "PACKAGE"}},
+		}}},
+		{Pos: start, SuggestedFixes: []analysis.SuggestedFix{{
+			Edits: []analysis.TextEdit{{Pos: start + 3, End: start + 9, NewText: "zzz"}},
+		}}},
+	}
+	fixed, err = analysis.ApplyFixes(fset, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(fixed[path]); !strings.HasPrefix(got, "PACKAGE p") {
+		t.Errorf("overlap policy violated: %q", got)
+	}
+}

@@ -3,11 +3,19 @@
 // mirroring golang.org/x/tools/go/analysis/analysistest. A line may
 // carry several want patterns; each must be matched by a distinct
 // diagnostic on that line, and every diagnostic must be wanted.
+//
+// RunWithSuggestedFixes additionally checks an analyzer's fix engine:
+// applying every diagnostic's first suggested fix must reproduce the
+// checked-in `<file>.golden` byte for byte, and re-running the
+// analyzer over the fixed source must yield no further fixes — the
+// idempotence contract `deltavet -fix` relies on (running it twice
+// never produces a second diff).
 package analysistest
 
 import (
 	"fmt"
 	"go/ast"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -21,24 +29,133 @@ var patRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 // Run loads each fixture package testdata/src/<pkg> relative to dir
 // and applies the analyzers, comparing diagnostics with the
-// fixtures' want comments.
+// fixtures' want comments. Each package is analyzed in isolation.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkgs(t, dir, a, false, pkg)
+	}
+}
+
+// RunPkgs loads all the fixture packages into one analysis run —
+// dependencies first, so fixtures may import earlier fixtures by
+// their "fixture/<pkg>" path — and checks want comments across all of
+// them. Module analyzers (RunModule) observe the whole set at once,
+// which is how cross-package fact propagation is tested.
+func RunPkgs(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	runPkgs(t, dir, a, false, pkgs...)
+}
+
+// RunWithSuggestedFixes is Run plus the fix round trip for each
+// package (see the package comment).
+func RunWithSuggestedFixes(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkgs(t, dir, a, true, pkg)
+	}
+}
+
+func runPkgs(t *testing.T, dir string, a *analysis.Analyzer, fixes bool, pkgs ...string) {
 	t.Helper()
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
+	var loaded []*analysis.Package
 	for _, pkg := range pkgs {
 		fixDir := filepath.Join(dir, "testdata", "src", pkg)
 		p, err := loader.LoadDir(fixDir, "fixture/"+pkg)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", pkg, err)
 		}
-		diags, err := analysis.RunAnalyzers([]*analysis.Package{p}, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		loaded = append(loaded, p)
+	}
+	diags, err := analysis.RunAnalyzers(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %v: %v", a.Name, pkgs, err)
+	}
+	for _, p := range loaded {
+		check(t, p, diagsIn(p, diags))
+	}
+	if fixes {
+		for _, p := range loaded {
+			checkFixes(t, loader, a, p, diagsIn(p, diags))
 		}
-		check(t, p, diags)
+	}
+}
+
+// diagsIn filters diagnostics to those positioned inside package p's
+// files.
+func diagsIn(p *analysis.Package, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		name := p.Fset.Position(d.Pos).Filename
+		for _, f := range p.Files {
+			if p.Fset.Position(f.Pos()).Filename == name {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// checkFixes applies the package's suggested fixes, compares against
+// <file>.golden, then re-runs the analyzer on the fixed sources and
+// requires it to propose no further edits.
+func checkFixes(t *testing.T, loader *analysis.Loader, a *analysis.Analyzer, p *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	fixed, err := analysis.ApplyFixes(p.Fset, diags)
+	if err != nil {
+		t.Fatalf("applying fixes for %s: %v", p.Path, err)
+	}
+	// Every file the fixture pairs with a golden must round-trip to
+	// it; files the analyzer did not touch must have no golden.
+	tmp := t.TempDir()
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		golden := name + ".golden"
+		content, touched := fixed[name]
+		if !touched {
+			if _, err := os.Stat(golden); err == nil {
+				t.Errorf("%s: golden file exists but the analyzer proposed no fixes", filepath.Base(golden))
+			}
+			var err error
+			content, err = os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("reading %s: %v", name, err)
+			}
+		} else {
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%s proposed fixes for %s but no golden file: %v", a.Name, filepath.Base(name), err)
+			}
+			if string(content) != string(want) {
+				t.Errorf("%s: fixed output differs from golden:\n-- got --\n%s\n-- want --\n%s",
+					filepath.Base(name), content, want)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(tmp, filepath.Base(name)), content, 0o644); err != nil {
+			t.Fatalf("staging fixed source: %v", err)
+		}
+	}
+	// Idempotence: the fixed package must type-check, and a second run
+	// must propose zero edits.
+	p2, err := loader.LoadDir(tmp, p.Path+".fixed")
+	if err != nil {
+		t.Fatalf("fixed source of %s does not load: %v", p.Path, err)
+	}
+	diags2, err := analysis.RunAnalyzers([]*analysis.Package{p2}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("re-running %s on fixed source: %v", a.Name, err)
+	}
+	for _, d := range diags2 {
+		if len(d.SuggestedFixes) > 0 {
+			pos := p2.Fset.Position(d.Pos)
+			t.Errorf("fix not idempotent: second run still proposes a fix at %s:%d: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The findings baseline.
+//
+// A baseline grandfathers pre-existing findings so a newly promoted
+// (or newly written) analyzer can become blocking immediately: the
+// tree stays at zero *non-baselined* findings while the baselined debt
+// is paid down finding by finding. Keys deliberately omit line
+// numbers — "file + analyzer + message" survives unrelated edits to
+// the same file, so the baseline does not churn with every refactor.
+// The file is checked in (deltavet.baseline) and reviewed like code;
+// `deltavet -write-baseline` regenerates it from the current tree.
+//
+// Format: one finding per line,
+//
+//	<analyzer>\t<slash-relative-file>\t<message>
+//
+// sorted, with '#' comments and blank lines ignored.
+
+// A Baseline is the parsed grandfathered-findings set.
+type Baseline struct {
+	keys map[string]bool
+}
+
+// baselineKey normalizes one diagnostic to its baseline identity.
+func baselineKey(analyzer, relFile, message string) string {
+	return analyzer + "\t" + filepath.ToSlash(relFile) + "\t" + message
+}
+
+// ParseBaseline parses baseline file contents.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	b := &Baseline{keys: map[string]bool{}}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(sc.Text(), "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want <analyzer>\\t<file>\\t<message>, got %q", line, sc.Text())
+		}
+		b.keys[baselineKey(parts[0], parts[1], parts[2])] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Contains reports whether the diagnostic (keyed by analyzer, file
+// relative to the module root, and message) is grandfathered.
+func (b *Baseline) Contains(analyzer, relFile, message string) bool {
+	if b == nil {
+		return false
+	}
+	return b.keys[baselineKey(analyzer, relFile, message)]
+}
+
+// Len returns the number of baselined findings.
+func (b *Baseline) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.keys)
+}
+
+// FormatBaseline renders the given findings as baseline file
+// contents: deduplicated, sorted, with an explanatory header.
+func FormatBaseline(entries []string) []byte {
+	set := map[string]bool{}
+	for _, e := range entries {
+		set[e] = true
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteString("# deltavet baseline: grandfathered findings, one per line as\n")
+	buf.WriteString("# <analyzer>\\t<file>\\t<message>. Regenerate with `deltavet -write-baseline`;\n")
+	buf.WriteString("# this file should only ever shrink.\n")
+	for _, k := range keys {
+		buf.WriteString(k)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// BaselineEntry renders one diagnostic as a baseline line. relFile
+// must already be relative to the module root.
+func BaselineEntry(analyzer, relFile, message string) string {
+	return baselineKey(analyzer, relFile, message)
+}

@@ -1,0 +1,157 @@
+// Package checkpointerr flags silently discarded errors on the
+// durability chain: Close, Sync, Flush, Remove, Rename and anything
+// named like a checkpoint writer. The DCKP format promises that a
+// resumed run is bit-identical to an uninterrupted one; that promise
+// is only as strong as the write-temp → sync → close → rename chain
+// behind it, and every link reports failure solely through its return
+// value. A dropped Close error after buffered writes means a torn
+// checkpoint that parses (the CRC catches it) or, worse, a stale one
+// that silently resumes from older state.
+//
+// The rule is narrower than errcheck: only *silent* discards are
+// flagged — a call used as an expression statement. An explicit
+// `_ = f.Close()` is visible at review and counts as a decision
+// (best-effort cleanup on an error path is legitimate and common);
+// the analyzer's job is to force that decision to be written down.
+//
+// Each finding carries two suggested fixes. The first — insert
+// `_ = ` — is semantics-preserving and is what `deltavet -fix`
+// applies; it converts a silent discard into a reviewed one without
+// changing behavior. The second — `if err := ...; err != nil { return
+// err }` — is offered only when the enclosing function returns
+// exactly one value of type error, because only then is the rewrite
+// well-typed without human judgment.
+package checkpointerr
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the checkpointerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "checkpointerr",
+	Doc: "flags silently discarded errors from Close/Sync/Flush/Remove/Rename and " +
+		"checkpoint-writing calls; suggests `_ =` (reviewed discard) or an error return",
+	Run: run,
+}
+
+// durabilityCall reports whether a callee by this name sits on the
+// durability chain.
+func durabilityCall(name string) bool {
+	switch name {
+	case "Close", "Sync", "Flush", "Remove", "RemoveAll", "Rename":
+		return true
+	}
+	return strings.Contains(name, "Checkpoint") || strings.Contains(name, "Flush") ||
+		strings.Contains(name, "Sync")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(pass, call)
+			if name == "" || !durabilityCall(name) {
+				return true
+			}
+			if !returnsOnlyError(pass, call) {
+				return true
+			}
+			d := analysis.Diagnostic{
+				Pos: call.Pos(),
+				Message: name + " error silently discarded on the durability chain; " +
+					"handle it or make the discard explicit with `_ =`",
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "record the discard explicitly with `_ =`",
+					Edits: []analysis.TextEdit{{
+						Pos: es.Pos(), End: es.Pos(), NewText: "_ = ",
+					}},
+				}},
+			}
+			if fix, ok := returnFix(pass, file, es, call); ok {
+				d.SuggestedFixes = append(d.SuggestedFixes, fix)
+			}
+			pass.Report(d)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// calleeName names the function or method a call statically invokes.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+		return fn.Name()
+	}
+	return ""
+}
+
+// returnsOnlyError reports whether the call yields exactly one result
+// of type error — the shape both suggested fixes assume.
+func returnsOnlyError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isError(tv.Type)
+}
+
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// returnFix builds the `if err := call(); err != nil { return err }`
+// rewrite, offered only when the enclosing function returns exactly
+// one error result so the rewrite is well-typed unaided.
+func returnFix(pass *analysis.Pass, file *ast.File, es *ast.ExprStmt, call *ast.CallExpr) (analysis.SuggestedFix, bool) {
+	fd := analysis.EnclosingFuncDecl(file, es.Pos())
+	if fd == nil || fd.Type.Results == nil {
+		return analysis.SuggestedFix{}, false
+	}
+	results := fd.Type.Results.List
+	if len(results) != 1 || len(results[0].Names) > 1 {
+		return analysis.SuggestedFix{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[results[0].Type]
+	if !ok || tv.Type == nil || !isError(tv.Type) {
+		return analysis.SuggestedFix{}, false
+	}
+	var src bytes.Buffer
+	if err := printer.Fprint(&src, pass.Fset, call); err != nil {
+		return analysis.SuggestedFix{}, false
+	}
+	return analysis.SuggestedFix{
+		Message: "propagate the error",
+		Edits: []analysis.TextEdit{{
+			Pos:     es.Pos(),
+			End:     es.End(),
+			NewText: "if err := " + src.String() + "; err != nil {\n\t\treturn err\n\t}",
+		}},
+	}, true
+}

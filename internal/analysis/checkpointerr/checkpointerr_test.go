@@ -1,0 +1,12 @@
+package checkpointerr_test
+
+import (
+	"testing"
+
+	"deltacluster/internal/analysis/analysistest"
+	"deltacluster/internal/analysis/checkpointerr"
+)
+
+func TestCheckpointErr(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, ".", checkpointerr.Analyzer, "cp")
+}

@@ -1,0 +1,48 @@
+// Package cp exercises checkpointerr.
+package cp
+
+import "os"
+
+// flush drops a Close error on the floor.
+func flush(f *os.File) {
+	f.Close() // want `Close error silently discarded on the durability chain`
+}
+
+// writeTemp is the atomic-write shape: cleanup discards on error
+// paths, each flagged until made explicit.
+func writeTemp(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()       // want `Close error silently discarded on the durability chain`
+		os.Remove(path) // want `Remove error silently discarded on the durability chain`
+		return err
+	}
+	f.Sync() // want `Sync error silently discarded on the durability chain`
+	return f.Close()
+}
+
+// writeCheckpoint matches by name, not membership in a fixed list.
+func writeCheckpoint() error { return nil }
+
+// save drives the checkpoint writer and ignores it.
+func save() {
+	writeCheckpoint() // want `writeCheckpoint error silently discarded on the durability chain`
+}
+
+// reviewed discards explicitly: the decision is visible, clean.
+func reviewed(f *os.File) {
+	_ = f.Close()
+}
+
+// deferred cleanup is a different idiom and a different policy: clean.
+func deferred(f *os.File) {
+	defer f.Close()
+}
+
+// offChain calls something with no durability name: clean.
+func offChain(f *os.File) {
+	f.Chdir()
+}

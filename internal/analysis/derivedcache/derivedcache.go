@@ -1,0 +1,213 @@
+// Package derivedcache generalizes residueinvariant's single-writer
+// rule from individual guarded fields to whole derived-state types.
+// The matrix package's column-major mirror and missing-value bitsets
+// are the motivating case: they are bit-exact derived copies of the
+// row-major backing array, published through an atomic.Pointer with a
+// mutex-guarded double-checked build, and every kernel that reads
+// them assumes they agree with the source to the last bit. A write
+// from any code path outside the registered mutators — easy to add
+// while wiring incremental ingestion or a new transform — silently
+// desynchronizes the caches, and the corruption surfaces as
+// wrong-but-plausible residues far from the cause.
+//
+// The rule: a struct type whose declaration doc carries
+// deltavet:derived-cache may only have its fields assigned (including
+// +=, ++, and element writes through its slice/map/array fields)
+// inside same-package functions whose doc comment carries
+// deltavet:writer. Publishing through an atomic.Pointer[T] (or *T)
+// field — Store, Swap, CompareAndSwap — counts as a write to the
+// derived state and is restricted the same way; Load is a read and
+// stays unrestricted, which is exactly the double-checked-build
+// pattern: any reader may Load and race to the builder, but only the
+// registered builder publishes.
+package derivedcache
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the derivedcache pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "derivedcache",
+	Doc: "restricts writes to deltavet:derived-cache struct types (field assignments " +
+		"and atomic.Pointer Store/Swap publication) to deltavet:writer functions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	marked, fields := markedTypes(pass)
+	if len(marked) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, e := range n.Lhs {
+					checkWrite(pass, file, fields, e)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, file, fields, n.X)
+			case *ast.CallExpr:
+				checkPublish(pass, file, marked, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// markedTypes collects the named struct types carrying the
+// derived-cache marker (on the TypeSpec or its GenDecl) and the set
+// of their field objects.
+func markedTypes(pass *analysis.Pass) (map[*types.TypeName]bool, map[*types.Var]string) {
+	marked := map[*types.TypeName]bool{}
+	fields := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			declMarked := analysis.CommentGroupMarked(gd.Doc, analysis.DerivedCacheMarker)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !declMarked && !analysis.CommentGroupMarked(ts.Doc, analysis.DerivedCacheMarker) &&
+					!analysis.CommentGroupMarked(ts.Comment, analysis.DerivedCacheMarker) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				marked[tn] = true
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							fields[v] = ts.Name.Name
+						}
+					}
+				}
+			}
+		}
+	}
+	return marked, fields
+}
+
+// checkWrite reports an assignment whose target resolves to a field
+// of a derived-cache type outside an approved writer. Index and slice
+// expressions are unwrapped so element writes through the cache's
+// slices count.
+func checkWrite(pass *analysis.Pass, file *ast.File, fields map[*types.Var]string, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		}
+		break
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	typeName, guarded := fields[v]
+	if !guarded {
+		return
+	}
+	reportUnlessWriter(pass, file, e.Pos(),
+		"write to derived-cache field %s.%s", typeName, v.Name())
+}
+
+// checkPublish reports Store/Swap/CompareAndSwap on an atomic pointer
+// to a derived-cache type outside an approved writer.
+func checkPublish(pass *analysis.Pass, file *ast.File, marked map[*types.TypeName]bool, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return
+	}
+	recv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || recv.Type == nil {
+		return
+	}
+	tn := atomicPointerTarget(recv.Type)
+	if tn == nil || !marked[tn] {
+		return
+	}
+	reportUnlessWriter(pass, file, call.Pos(),
+		"%s publishes derived-cache type %s", sel.Sel.Name, tn.Name())
+}
+
+// atomicPointerTarget returns the type name T when t is
+// sync/atomic.Pointer[T] or sync/atomic.Pointer[*T] (possibly behind
+// a pointer), else nil.
+func atomicPointerTarget(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return nil
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	arg := args.At(0)
+	if p, ok := arg.(*types.Pointer); ok {
+		arg = p.Elem()
+	}
+	if n, ok := arg.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// reportUnlessWriter emits the diagnostic unless the enclosing
+// function is marked deltavet:writer.
+func reportUnlessWriter(pass *analysis.Pass, file *ast.File, pos token.Pos, format string, args ...any) {
+	fd := analysis.EnclosingFuncDecl(file, pos)
+	if fd != nil && analysis.CommentGroupMarked(fd.Doc, analysis.WriterMarker) {
+		return
+	}
+	where := "package-level code"
+	if fd != nil {
+		where = fd.Name.Name
+	}
+	pass.Reportf(pos, format+" outside an approved writer (%s is not marked deltavet:writer)",
+		append(args, where)...)
+}

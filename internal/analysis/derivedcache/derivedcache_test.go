@@ -1,0 +1,12 @@
+package derivedcache_test
+
+import (
+	"testing"
+
+	"deltacluster/internal/analysis/analysistest"
+	"deltacluster/internal/analysis/derivedcache"
+)
+
+func TestDerivedCache(t *testing.T) {
+	analysistest.Run(t, ".", derivedcache.Analyzer, "dc")
+}

@@ -1,0 +1,74 @@
+// Package dc exercises derivedcache.
+package dc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mirror is the derived state under test.
+//
+// deltavet:derived-cache
+type mirror struct {
+	cols  []float64
+	masks []uint64
+	width int
+}
+
+// plain is an unmarked type: writes anywhere are fine.
+type plain struct {
+	cols []float64
+}
+
+// store owns the published cache.
+type store struct {
+	der atomic.Pointer[mirror]
+	mu  sync.Mutex
+	src []float64
+}
+
+// build constructs and publishes the mirror (deltavet:writer).
+func (s *store) build() *mirror {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d := s.der.Load(); d != nil { // Load is a read: always fine
+		return d
+	}
+	d := &mirror{width: 1}
+	d.cols = append(d.cols, s.src...)
+	d.masks = make([]uint64, len(s.src))
+	s.der.Store(d)
+	return d
+}
+
+// invalidate drops the cache (deltavet:writer).
+func (s *store) invalidate() { s.der.Store(nil) }
+
+// rogueWrite mutates the derived state from an unregistered path.
+func (s *store) rogueWrite(v float64) {
+	d := s.der.Load()
+	d.cols[0] = v   // want `write to derived-cache field mirror.cols outside an approved writer \(rogueWrite`
+	d.width++       // want `write to derived-cache field mirror.width outside an approved writer \(rogueWrite`
+	d.masks[0] |= 1 // want `write to derived-cache field mirror.masks outside an approved writer \(rogueWrite`
+}
+
+// roguePublish swaps the cache pointer from an unregistered path.
+func (s *store) roguePublish(d *mirror) {
+	s.der.Store(d)               // want `Store publishes derived-cache type mirror outside an approved writer \(roguePublish`
+	old := s.der.Swap(d)         // want `Swap publishes derived-cache type mirror outside an approved writer \(roguePublish`
+	s.der.CompareAndSwap(old, d) // want `CompareAndSwap publishes derived-cache type mirror outside an approved writer \(roguePublish`
+}
+
+// reader only loads: clean.
+func (s *store) reader() float64 {
+	d := s.der.Load()
+	if d == nil {
+		d = s.build()
+	}
+	return d.cols[0]
+}
+
+// plainWrite touches the unmarked type: clean.
+func plainWrite(p *plain, v float64) {
+	p.cols = append(p.cols, v)
+}

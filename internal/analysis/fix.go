@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// Fix application.
+//
+// ApplyFixes turns the SuggestedFixes carried by a diagnostic batch
+// into rewritten file contents. Only the first fix of each diagnostic
+// is applied — analyzers order fixes most-conservative first, and the
+// driver's -fix mode and the analysistest golden harness both follow
+// that convention so "what -fix does" has exactly one answer.
+//
+// Conflict policy: edits are deduplicated (several diagnostics may
+// propose the identical edit, e.g. two floatcmp findings in one file
+// both inserting the same import) and then applied in descending
+// position order; an edit that overlaps an already-accepted one is
+// dropped. The result is deterministic because diagnostics arrive
+// position-sorted from RunAnalyzers.
+
+// appliedEdit is one accepted edit in file-offset space.
+type appliedEdit struct {
+	start, end int
+	newText    string
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic and
+// returns the new content of each touched file, keyed by filename as
+// recorded in fset. Files without fixes are absent from the map.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	perFile := map[string][]appliedEdit{}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, e := range d.SuggestedFixes[0].Edits {
+			pos := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			if pos.Filename == "" || pos.Filename != end.Filename {
+				return nil, fmt.Errorf("analysis: fix edit spans files (%s → %s)", pos.Filename, end.Filename)
+			}
+			key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Offset, end.Offset, e.NewText)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			perFile[pos.Filename] = append(perFile[pos.Filename],
+				appliedEdit{start: pos.Offset, end: end.Offset, newText: e.NewText})
+		}
+	}
+	names := make([]string, 0, len(perFile))
+	for name := range perFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := map[string][]byte{}
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		fixed, err := applyEdits(src, perFile[name])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", name, err)
+		}
+		out[name] = fixed
+	}
+	return out, nil
+}
+
+// applyEdits applies edits to src, skipping any edit that overlaps an
+// earlier-accepted one. Pure insertions at the same offset keep their
+// arrival order.
+func applyEdits(src []byte, edits []appliedEdit) ([]byte, error) {
+	sort.SliceStable(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start < edits[j].start
+		}
+		return edits[i].end < edits[j].end
+	})
+	var accepted []appliedEdit
+	lastEnd := 0
+	for _, e := range edits {
+		if e.start < 0 || e.end < e.start || e.end > len(src) {
+			return nil, fmt.Errorf("fix edit out of range [%d, %d) of %d bytes", e.start, e.end, len(src))
+		}
+		if e.start < lastEnd {
+			continue // overlaps an accepted edit: first (lowest-position) edit wins
+		}
+		accepted = append(accepted, e)
+		lastEnd = e.end
+	}
+	// Apply back to front so earlier offsets stay valid.
+	out := append([]byte(nil), src...)
+	for i := len(accepted) - 1; i >= 0; i-- {
+		e := accepted[i]
+		out = append(out[:e.start], append([]byte(e.newText), out[e.end:]...)...)
+	}
+	return out, nil
+}

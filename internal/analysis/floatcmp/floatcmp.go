@@ -15,12 +15,18 @@
 package floatcmp
 
 import (
+	"bytes"
 	"go/ast"
+	"go/printer"
 	"go/token"
 	"go/types"
+	"strconv"
 
 	"deltacluster/internal/analysis"
 )
+
+// statsPath is the sanctioned epsilon-helper package.
+const statsPath = "deltacluster/internal/stats"
 
 // Analyzer is the floatcmp pass.
 var Analyzer = &analysis.Analyzer{
@@ -35,6 +41,7 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	for _, file := range pass.Files {
+		importEdits := statsImportEdits(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			be, ok := n.(*ast.BinaryExpr)
 			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
@@ -47,13 +54,110 @@ func run(pass *analysis.Pass) (any, error) {
 				analysis.CommentGroupMarked(fd.Doc, analysis.ApproxHelperMarker) {
 				return true
 			}
-			pass.Reportf(be.OpPos,
-				"raw %s between floating-point values; use an epsilon helper (stats.EqualWithin/stats.Close) or an ordered comparison",
-				be.Op)
+			d := analysis.Diagnostic{
+				Pos: be.OpPos,
+				Message: "raw " + be.Op.String() +
+					" between floating-point values; use an epsilon helper (stats.EqualWithin/stats.Close) or an ordered comparison",
+			}
+			if fix, ok := closeFix(pass, be, importEdits); ok {
+				d.SuggestedFixes = []analysis.SuggestedFix{fix}
+			}
+			pass.Report(d)
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// closeFix rewrites `x == y` to `stats.Close(x, y)` (and != to its
+// negation), adding the internal/stats import when the file lacks it.
+// The replacement is a call expression, which binds tighter than any
+// operator the comparison could be embedded under, so no
+// parenthesization is needed.
+func closeFix(pass *analysis.Pass, be *ast.BinaryExpr, importEdits []analysis.TextEdit) (analysis.SuggestedFix, bool) {
+	if pass.Pkg != nil && pass.Pkg.Path() == statsPath {
+		return analysis.SuggestedFix{}, false // the helpers cannot call themselves
+	}
+	// stats.Close takes float64: only offer the rewrite when both
+	// operands are float64 (or untyped constants that convert to it);
+	// a float32 comparison still gets the diagnostic, fix by hand.
+	if !float64ish(pass, be.X) || !float64ish(pass, be.Y) {
+		return analysis.SuggestedFix{}, false
+	}
+	var x, y bytes.Buffer
+	if err := printer.Fprint(&x, pass.Fset, be.X); err != nil {
+		return analysis.SuggestedFix{}, false
+	}
+	if err := printer.Fprint(&y, pass.Fset, be.Y); err != nil {
+		return analysis.SuggestedFix{}, false
+	}
+	neg := ""
+	if be.Op == token.NEQ {
+		neg = "!"
+	}
+	edits := append([]analysis.TextEdit{{
+		Pos:     be.Pos(),
+		End:     be.End(),
+		NewText: neg + "stats.Close(" + x.String() + ", " + y.String() + ")",
+	}}, importEdits...)
+	return analysis.SuggestedFix{
+		Message: "compare through stats.Close",
+		Edits:   edits,
+	}, true
+}
+
+// statsImportEdits returns the edit that adds the internal/stats
+// import to file, or nil when it is already imported.
+func statsImportEdits(pass *analysis.Pass, file *ast.File) []analysis.TextEdit {
+	var importDecl *ast.GenDecl
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		importDecl = gd
+		for _, spec := range gd.Specs {
+			is := spec.(*ast.ImportSpec)
+			if path, err := strconv.Unquote(is.Path.Value); err == nil && path == statsPath {
+				return nil
+			}
+		}
+	}
+	quoted := strconv.Quote(statsPath)
+	if importDecl == nil {
+		return []analysis.TextEdit{{
+			Pos:     file.Name.End(),
+			End:     file.Name.End(),
+			NewText: "\n\nimport " + quoted,
+		}}
+	}
+	if importDecl.Lparen.IsValid() && len(importDecl.Specs) > 0 {
+		last := importDecl.Specs[len(importDecl.Specs)-1]
+		return []analysis.TextEdit{{
+			Pos:     last.End(),
+			End:     last.End(),
+			NewText: "\n\t" + quoted,
+		}}
+	}
+	return []analysis.TextEdit{{
+		Pos:     importDecl.End(),
+		End:     importDecl.End(),
+		NewText: "\nimport " + quoted,
+	}}
+}
+
+// float64ish reports whether the expression can be passed to a
+// float64 parameter unchanged: typed float64, or an untyped constant.
+func float64ish(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Float64 || b.Info()&types.IsUntyped != 0
 }
 
 func isFloat(pass *analysis.Pass, e ast.Expr) bool {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestFloatCmp(t *testing.T) {
-	analysistest.Run(t, ".", floatcmp.Analyzer, "a")
+	analysistest.RunWithSuggestedFixes(t, ".", floatcmp.Analyzer, "a")
 }

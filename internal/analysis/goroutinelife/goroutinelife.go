@@ -1,0 +1,222 @@
+// Package goroutinelife flags goroutine launches with no visible
+// lifecycle pairing. The service and resilience layers promise zero
+// goroutine leaks — Shutdown "never abandons a goroutine", the
+// supervisor "always waits" — and the -race e2e suites can only catch
+// a violation probabilistically, when a leaked goroutine happens to
+// touch shared state during the test window. This analyzer makes the
+// discipline structural: every `go` statement must carry evidence, in
+// the launched body itself, that some owner observes its exit.
+//
+// Accepted evidence, any one of:
+//
+//   - a sync.WaitGroup Done call (usually deferred) — the owner
+//     Waits;
+//   - a receive, select or channel range — the goroutine is bounded
+//     by a done/ctx/queue channel closing;
+//   - a send to, or close of, a channel — the owner receives the
+//     result, so termination is observed;
+//   - a context.Context in scope of the body (ctx.Done/ctx.Err or a
+//     ctx-taking call) — cancellation reaches it.
+//
+// For `go f(...)` with a named same-package function, f's body is
+// inspected. Launches whose callee is in another package or a
+// function value carry no inspectable body; give them a closure with
+// evidence or suppress with
+// `deltavet:ignore goroutinelife reason=<who observes the exit>`.
+//
+// The check is syntactic: it proves the *pairing* exists, not that
+// every exit path honors it — that remains the -race suites' job.
+// What it removes is the silent case: a goroutine nothing ever waits
+// on, receives from, or cancels.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the goroutinelife pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelife",
+	Doc: "flags go statements whose goroutine has no lifecycle pairing " +
+		"(WaitGroup Done, channel receive/send/close/range, or ctx) on any path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Index same-package function declarations so `go f()` can be
+	// traced into f's body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := launchBody(pass, decls, gs.Call)
+			if body == nil {
+				pass.Reportf(gs.Pos(),
+					"goroutine body is not inspectable (cross-package or function value); "+
+						"launch a closure with lifecycle evidence or suppress with a reviewed reason")
+				return true
+			}
+			if !hasLifecycleEvidence(pass, body) {
+				pass.Reportf(gs.Pos(),
+					"goroutine has no lifecycle pairing: no WaitGroup Done, channel "+
+						"receive/send/close/range, or ctx in its body — nothing observes its exit")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// launchBody resolves the body a go statement executes: the literal's
+// body for `go func(){...}()`, the declaration body for a
+// same-package `go f(...)`.
+func launchBody(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasLifecycleEvidence scans a goroutine body for any of the accepted
+// exit-observation patterns.
+func hasLifecycleEvidence(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true // owner receives the result
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true // bounded by a channel receive
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true // drains until the owner closes the channel
+				}
+			}
+		case *ast.CallExpr:
+			if isClose(pass, n) || isWaitGroupDone(pass, n) || usesContext(pass, n) {
+				found = true
+			}
+		case *ast.Ident:
+			if isContextValue(pass, n) {
+				found = true // ctx in scope: cancellation reaches the body
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isClose reports the builtin close call.
+func isClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// isWaitGroupDone reports a Done() call on a sync.WaitGroup.
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// usesContext reports a call that passes or consults a
+// context.Context (ctx.Done(), ctx.Err(), run(ctx, ...)).
+func usesContext(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if isContextValue(pass, sel.X.(ast.Expr)) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if isContextValue(pass, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextValue reports whether the expression has type
+// context.Context.
+func isContextValue(pass *analysis.Pass, e ast.Expr) bool {
+	var tv types.TypeAndValue
+	var ok bool
+	if id, isIdent := e.(*ast.Ident); isIdent {
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return false
+		}
+		if v, isVar := obj.(*types.Var); isVar {
+			return isContextType(v.Type())
+		}
+		return false
+	}
+	tv, ok = pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isContextType(tv.Type)
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

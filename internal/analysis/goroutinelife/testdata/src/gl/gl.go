@@ -1,0 +1,107 @@
+// Package gl exercises goroutinelife.
+package gl
+
+import (
+	"context"
+	"sync"
+)
+
+// leak launches a goroutine nothing observes.
+func leak() {
+	go func() { // want `goroutine has no lifecycle pairing`
+		for i := 0; i < 10; i++ {
+			_ = i * i
+		}
+	}()
+}
+
+// waited pairs the goroutine with a WaitGroup.
+func waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // clean: wg.Done pairs with the owner's Wait
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// resulting sends its result; the owner receives.
+func resulting() int {
+	out := make(chan int, 1)
+	go func() { // clean: send observed by the receive below
+		out <- 42
+	}()
+	return <-out
+}
+
+// closing signals completion by closing a channel.
+func closing() chan struct{} {
+	done := make(chan struct{})
+	go func() { // clean: close observed by the owner
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// bounded ranges over a channel the owner closes.
+func bounded(jobs chan int) {
+	go func() { // clean: range drains until the owner closes jobs
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// cancellable consults a context.
+func cancellable(ctx context.Context) {
+	go func() { // clean: ctx cancellation reaches the body
+		<-ctx.Done()
+	}()
+}
+
+// ctxArg passes its context onward.
+func ctxArg(ctx context.Context) {
+	go func() { // clean: run consults the forwarded ctx
+		run(ctx)
+	}()
+}
+
+// selecting waits on a select.
+func selecting(done chan struct{}, in chan int) {
+	go func() { // clean: select observes done
+		select {
+		case <-done:
+		case v := <-in:
+			_ = v
+		}
+	}()
+}
+
+// named launches a same-package function whose body carries evidence.
+func named(ctx context.Context) {
+	go run(ctx) // clean: run's own body consults ctx
+}
+
+// namedLeak launches a same-package function with no evidence.
+func namedLeak() {
+	go work() // want `goroutine has no lifecycle pairing`
+}
+
+// valueLaunch launches a function value: the body is not inspectable.
+func valueLaunch(f func()) {
+	go f() // want `goroutine body is not inspectable`
+}
+
+// run blocks until its context is cancelled.
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// work is evidence-free.
+func work() {
+	for i := 0; i < 100; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,20 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"deltacluster/internal/analysis/analysistest"
+	"deltacluster/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, ".", hotalloc.Analyzer, "hot")
+}
+
+// TestHotAllocCrossPackage loads the dep and hotcross fixtures into
+// one module pass: the annotated root in hotcross must propagate
+// hotpath-ness into dep through the shared fact store, flagging
+// dep.Format but not the identical, unreachable dep.Plain.
+func TestHotAllocCrossPackage(t *testing.T) {
+	analysistest.RunPkgs(t, ".", hotalloc.Analyzer, "dep", "hotcross")
+}

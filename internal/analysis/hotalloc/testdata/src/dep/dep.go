@@ -1,0 +1,17 @@
+// Package dep is the callee side of the cross-package propagation
+// fixture: nothing here is annotated, hotness arrives through facts
+// from fixture/hotcross.
+package dep
+
+import "fmt"
+
+// Format allocates; it is flagged only because hotcross's annotated
+// root reaches it across the package boundary.
+func Format(x int) string {
+	return fmt.Sprintf("x=%d", x) // want `fmt.Sprintf allocates in hot function Format \(hotpath via Drive\)`
+}
+
+// Plain is never called from a hot path: identical body, no finding.
+func Plain(x int) string {
+	return fmt.Sprintf("x=%d", x) // clean: not reachable from any hotpath root
+}

@@ -1,0 +1,73 @@
+// Package hot exercises hotalloc within one package.
+package hot
+
+import "fmt"
+
+// Logger is an interface parameter target.
+type Logger interface {
+	Log(string)
+}
+
+// scratch is engine-owned reusable storage.
+var scratch = make([]float64, 0, 1024) // clean: package scope is setup
+
+// kernel is the annotated root.
+//
+// deltavet:hotpath
+func kernel(xs []float64, lg Logger) float64 {
+	buf := make([]float64, len(xs)) // want `make in hot function kernel`
+	var grow []float64
+	sum := 0.0
+	for _, x := range xs {
+		grow = append(grow, x) // want `append to uncapped local slice grow in hot function kernel`
+		sum += x
+	}
+	capped := make([]float64, 0, len(xs)) // want `make in hot function kernel`
+	capped = append(capped, sum)          // clean: capped local
+	msg := fmt.Sprintf("sum=%v", sum)     // want `fmt.Sprintf allocates in hot function kernel`
+	lg.Log(msg)
+	helper(sum)
+	cold()
+	_ = buf
+	_ = capped
+	//deltavet:ignore hotalloc reason=fixture proves reviewed suppressions hold on hot paths
+	tmp := make([]float64, 1) // suppressed: no want
+	_ = tmp
+	if len(xs) > 1<<30 {
+		panic(fmt.Sprintf("impossible length %d", len(xs))) // clean: panic path
+	}
+	return sum
+}
+
+// helper is hot only transitively, via kernel.
+func helper(x float64) {
+	box(x) // want `argument float64 boxes into interface parameter in hot function helper \(hotpath via kernel\)`
+}
+
+// box takes an interface.
+func box(v any) { _ = v }
+
+// cold is reachable from kernel but opted out.
+//
+// deltavet:coldpath
+func cold() {
+	_ = make([]byte, 64) // clean: coldpath stops propagation
+}
+
+// idle is not on any hot path.
+func idle() []int {
+	var s []int
+	s = append(s, 1) // clean: not hot
+	return s
+}
+
+// escape shows the closure rule.
+//
+// deltavet:hotpath
+func escape() func() int {
+	n := 0
+	return func() int { // want `func literal in hot function escape; closures escape`
+		n++
+		return n
+	}
+}

@@ -1,0 +1,12 @@
+// Package hotcross is the caller side of the cross-package
+// propagation fixture: its annotated root drives fixture/dep.
+package hotcross
+
+import "fixture/dep"
+
+// Drive is the annotated root; dep.Format inherits its hotness.
+//
+// deltavet:hotpath
+func Drive(x int) string {
+	return dep.Format(x)
+}

@@ -91,8 +91,13 @@ func NewLoader(dir string) (*Loader, error) {
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
 // Import implements types.Importer over module-internal packages and
-// the standard library.
+// the standard library. Already-registered packages (including
+// analysistest fixtures loaded under synthetic "fixture/..." paths)
+// resolve first, so fixture packages may import each other.
 func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg.Types, nil
+	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		pkg, err := l.loadPath(path)
 		if err != nil {
@@ -117,6 +122,23 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			}
 			for _, p := range all {
 				paths[p] = true
+			}
+		case strings.HasSuffix(pat, "/..."):
+			// Subtree pattern, e.g. ./internal/analysis/...: every
+			// buildable package at or below the directory.
+			rel := strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/...")
+			prefix := l.ModPath
+			if rel != "" && rel != "." {
+				prefix = l.ModPath + "/" + filepath.ToSlash(rel)
+			}
+			all, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					paths[p] = true
+				}
 			}
 		case strings.HasPrefix(pat, "./"):
 			rel := strings.TrimPrefix(pat, "./")

@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"deltacluster/internal/analysis"
+	"deltacluster/internal/analysis/checkpointerr"
+	"deltacluster/internal/analysis/ctxfirst"
+	"deltacluster/internal/analysis/derivedcache"
+	"deltacluster/internal/analysis/floatcmp"
+	"deltacluster/internal/analysis/goroutinelife"
+	"deltacluster/internal/analysis/hotalloc"
+	"deltacluster/internal/analysis/maporder"
+	"deltacluster/internal/analysis/residueinvariant"
+	"deltacluster/internal/analysis/seededrand"
+	"deltacluster/internal/analysis/walltime"
+)
+
+// TestSelfCheck runs every deltavet analyzer over the analysis
+// framework, the analyzers themselves, and the driver: the linter
+// obeys its own rules. This is the same analyzer list cmd/deltavet
+// registers; keep the two in sync.
+func TestSelfCheck(t *testing.T) {
+	all := []*analysis.Analyzer{
+		maporder.Analyzer,
+		seededrand.Analyzer,
+		floatcmp.Analyzer,
+		ctxfirst.Analyzer,
+		residueinvariant.Analyzer,
+		hotalloc.Analyzer,
+		derivedcache.Analyzer,
+		goroutinelife.Analyzer,
+		walltime.Analyzer,
+		checkpointerr.Analyzer,
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := loader.Load("./internal/analysis/...", "./cmd/deltavet")
+	if err != nil {
+		t.Fatalf("loading analysis packages: %v", err)
+	}
+	if len(pkgs) < 11 {
+		t.Fatalf("loaded only %d packages; the pattern no longer covers the analyzer tree", len(pkgs))
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, all)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		pos := loader.Fset().Position(d.Pos)
+		t.Errorf("%s:%d:%d: %s [%s]", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+}

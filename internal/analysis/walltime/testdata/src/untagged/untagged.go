@@ -1,0 +1,11 @@
+// Package untagged is not deltavet-deterministic: walltime stays out.
+package untagged
+
+import "time"
+
+// Free uses the clock without restriction.
+func Free() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

@@ -1,0 +1,55 @@
+// Package wt exercises walltime: deltavet:deterministic.
+package wt
+
+import "time"
+
+// Result carries a reporting duration.
+type Result struct {
+	Duration time.Duration
+}
+
+// decide folds the clock into engine state: flagged.
+func decide(xs []float64) float64 {
+	start := time.Now() // want `time.Now in deterministic package wt`
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if time.Since(start) > time.Second { // want `time.Since in deterministic package wt`
+		return 0
+	}
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic package wt`
+	return sum
+}
+
+// report times the run for its Duration field only.
+//
+// deltavet:observability
+func report(xs []float64) *Result {
+	start := time.Now() // clean: observability function
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	_ = sum
+	return &Result{Duration: time.Since(start)} // clean: observability function
+}
+
+// reportSleep shows that observability never covers blocking.
+//
+// deltavet:observability
+func reportSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic package wt`
+}
+
+// timers are blockers too.
+func timers() {
+	t := time.NewTimer(time.Second) // want `time.NewTimer in deterministic package wt`
+	<-t.C
+	<-time.After(time.Second) // want `time.After in deterministic package wt`
+}
+
+// durations only manipulates constants: clean.
+func durations(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}

@@ -1,0 +1,100 @@
+// Package walltime flags wall-clock reads and sleeps in packages
+// marked deltavet:deterministic. The engine's contract is that a run
+// is a pure function of (matrix bytes, config, seed): fingerprints,
+// checkpoint resume and the workers-matrix CI job all depend on it.
+// time.Now and friends are the easiest way to break that contract
+// without noticing — a timestamp folded into an ordering decision, a
+// deadline that fires on a loaded CI box but not locally — and no
+// golden test can catch a dependency that only varies under load.
+//
+// Flagged in deterministic packages: time.Now, time.Since,
+// time.Until, time.Sleep, time.After, time.Tick, time.NewTimer and
+// time.NewTicker.
+//
+// Functions whose doc comment carries deltavet:observability may read
+// the clock (Now, Since, Until) — their measurements feed reporting
+// and metrics, never decisions — but may still not Sleep or construct
+// timers: an observability helper that blocks or schedules is
+// influencing execution, not observing it. Genuinely exceptional
+// sites are suppressed line by line with
+// `deltavet:ignore walltime reason=<why the clock cannot affect results>`.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"deltacluster/internal/analysis"
+)
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "flags wall-clock reads (time.Now/Since/...) and sleeps in deltavet:deterministic " +
+		"packages; deltavet:observability functions may read the clock but not block on it",
+	Run: run,
+}
+
+// reads are clock observations an observability-marked function may
+// perform; blockers influence execution and are never exempt.
+var (
+	reads    = map[string]bool{"Now": true, "Since": true, "Until": true}
+	blockers = map[string]bool{
+		"Sleep": true, "After": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	}
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.PackageMarked(pass.Files, analysis.DeterministicMarker) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := timeCall(pass, call)
+			if !ok {
+				return true
+			}
+			observ := false
+			if fd := analysis.EnclosingFuncDecl(file, call.Pos()); fd != nil {
+				observ = analysis.CommentGroupMarked(fd.Doc, analysis.ObservabilityMarker)
+			}
+			switch {
+			case reads[name] && observ:
+				// sanctioned: measurement feeding reporting only
+			case reads[name]:
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic package %s; results must not depend on the wall clock "+
+						"(mark the function deltavet:observability if this only feeds reporting)",
+					name, pass.Pkg.Name())
+			case blockers[name]:
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic package %s; blocking on the wall clock makes "+
+						"execution load-dependent and is never exempt", name, pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// timeCall resolves a call to a function of the standard time package
+// and returns its name.
+func timeCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return "", false
+	}
+	if !reads[fn.Name()] && !blockers[fn.Name()] {
+		return "", false
+	}
+	return fn.Name(), true
+}

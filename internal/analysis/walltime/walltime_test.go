@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"deltacluster/internal/analysis/analysistest"
+	"deltacluster/internal/analysis/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, ".", walltime.Analyzer, "wt", "untagged")
+}

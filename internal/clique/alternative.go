@@ -41,6 +41,9 @@ type AltResult struct {
 // with CLIQUE, and turn each subspace cluster's derived attributes
 // into a graph whose maximal cliques are δ-clusters on the original
 // attributes.
+//
+// deltavet:observability — the wall-clock reads fill the per-step
+// Duration reporting fields; no clustering decision reads the clock.
 func AlternativeDeltaClusters(m *matrix.Matrix, cfg AltConfig) (*AltResult, error) {
 	if cfg.MinRows == 0 {
 		cfg.MinRows = 3

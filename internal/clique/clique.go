@@ -118,6 +118,9 @@ func Run(m *matrix.Matrix, cfg Config) (*Result, error) {
 // Figure 10), and a cancelled or expired context stops the mine with a
 // *PartialResult error carrying the clusters of every level mined so
 // far.
+//
+// deltavet:observability — the wall-clock reads fill Result.Duration;
+// the mined lattice never depends on them.
 func RunContext(ctx context.Context, m *matrix.Matrix, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err

@@ -582,6 +582,10 @@ func (c *Cluster) Residue() float64 { return c.ResidueWith(ArithmeticMean) }
 // consumed. The mean switch is likewise hoisted out of the inner
 // loop; the per-entry arithmetic and accumulation order are
 // unchanged.
+//
+// deltavet:hotpath — the residue kernel behind every exact gain
+// evaluation; thousands of calls per decide phase, zero allocations in
+// steady state.
 func (c *Cluster) ResidueWith(mean ResidueMean) float64 {
 	if c.volume == 0 {
 		return 0
@@ -589,6 +593,7 @@ func (c *Cluster) ResidueWith(mean ResidueMean) float64 {
 	base := c.total / float64(c.volume)
 	cols := c.memberCols
 	if cap(c.colBases) < len(cols) {
+		//deltavet:ignore hotalloc reason=amortized scratch growth; only the first scans after a column-count high-water mark allocate
 		c.colBases = make([]float64, len(cols))
 	}
 	bases := c.colBases[:len(cols)]

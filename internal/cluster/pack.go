@@ -41,6 +41,8 @@ package cluster
 // keeps it maintained through every later membership change
 // (deltavet:writer). It is idempotent. Clusters created by Clone or
 // filled by CopyFrom inherit the source's pack state.
+//
+// deltavet:coldpath — one-time setup; never on the toggle path.
 func (c *Cluster) EnablePack() {
 	if c.packStride > 0 {
 		return
@@ -66,6 +68,9 @@ func (c *Cluster) PackEnabled() bool { return c.packStride > 0 }
 // rebuildPack regathers the whole pack from the matrix
 // (deltavet:writer). Used when the membership changes wholesale
 // (EnablePack, CopyFrom from a pack-less source).
+//
+// deltavet:coldpath — wholesale rebuilds happen at setup and restore,
+// not per toggle.
 func (c *Cluster) rebuildPack() {
 	if c.packStride < len(c.memberCols) {
 		c.packStride = packStrideFor(len(c.memberCols))
@@ -83,7 +88,7 @@ func (c *Cluster) rebuildPack() {
 }
 
 // packRefreshBase recaches the row base of member position r, matrix
-// row i (deltavet:writer). The cached value is rowSum[i]/rowCnt[i] —
+// row i (deltavet:writer, deltavet:hotpath). The cached value is rowSum[i]/rowCnt[i] —
 // the exact division ResidueWith used to perform per scan — computed
 // from the same operand bits, so caching it at mutation time instead
 // of scan time changes no output bit (IEEE 754 division is
@@ -95,7 +100,7 @@ func (c *Cluster) packRefreshBase(r, i int) {
 }
 
 // packRefreshBases recaches every member row's base
-// (deltavet:writer). Column mutators call it after touching the
+// (deltavet:writer, deltavet:hotpath). Column mutators call it after touching the
 // cross-axis sums; rows whose sums were not touched recompute the
 // identical quotient, so the refresh is always safe.
 func (c *Cluster) packRefreshBases() {
@@ -107,11 +112,12 @@ func (c *Cluster) packRefreshBases() {
 
 // packSetLen resizes the pack to nRows blocks, growing the backing
 // array geometrically so steady-state toggles never allocate
-// (deltavet:writer).
+// (deltavet:writer, deltavet:hotpath).
 func (c *Cluster) packSetLen(nRows int) {
 	if cap(c.packBases) >= nRows {
 		c.packBases = c.packBases[:nRows]
 	} else {
+		//deltavet:ignore hotalloc reason=amortized geometric growth; steady-state toggles take the cap branch above
 		nb := make([]float64, nRows, 2*nRows)
 		copy(nb, c.packBases)
 		c.packBases = nb
@@ -121,6 +127,7 @@ func (c *Cluster) packSetLen(nRows int) {
 		c.pack = c.pack[:need]
 		return
 	}
+	//deltavet:ignore hotalloc reason=amortized geometric growth; steady-state toggles take the cap branch above
 	np := make([]float64, need, 2*need)
 	copy(np, c.pack)
 	c.pack = np
@@ -134,6 +141,9 @@ func (c *Cluster) packSetLen(nRows int) {
 // source (r·newS ≥ r·oldS ≥ (r−1)·oldS + oldS), so the in-place
 // widening never overwrites bits it still has to move. The stride
 // never shrinks, so removals never restructure.
+//
+// deltavet:coldpath — runs only when an insertion outgrows the stride,
+// O(log maxCols) times over a cluster's whole lifetime.
 func (c *Cluster) packGrowStride() {
 	oldS := c.packStride
 	newS := oldS * 2
@@ -157,8 +167,9 @@ func (c *Cluster) packGrowStride() {
 }
 
 // packAppendRow gathers matrix row i (the just-appended last member
-// row) into a new pack block (deltavet:writer). row is the matrix
-// row's storage, passed in because the caller already holds it.
+// row) into a new pack block (deltavet:writer, deltavet:hotpath). row
+// is the matrix row's storage, passed in because the caller already
+// holds it.
 func (c *Cluster) packAppendRow(row []float64) {
 	c.packSetLen(len(c.memberRows))
 	s := c.packStride
@@ -171,7 +182,7 @@ func (c *Cluster) packAppendRow(row []float64) {
 
 // packRemoveRow mirrors RemoveRow's swap-with-last on the pack blocks:
 // the last block overwrites block pos, then the pack shrinks by one
-// block (deltavet:writer).
+// block (deltavet:writer, deltavet:hotpath).
 func (c *Cluster) packRemoveRow(pos int) {
 	s := c.packStride
 	last := len(c.pack)/s - 1
@@ -186,7 +197,7 @@ func (c *Cluster) packRemoveRow(pos int) {
 }
 
 // packSwapRows swaps two pack blocks; UndoRowToggle uses it to mirror
-// its member-order restoration (deltavet:writer).
+// its member-order restoration (deltavet:writer, deltavet:hotpath).
 func (c *Cluster) packSwapRows(a, b int) {
 	if a == b {
 		return
@@ -202,8 +213,8 @@ func (c *Cluster) packSwapRows(a, b int) {
 
 // packAppendCol gathers matrix column j (the just-appended last member
 // column) into slot len(memberCols)-1 of every pack block
-// (deltavet:writer). col is the column's mirror storage, passed in
-// because the caller already holds it.
+// (deltavet:writer, deltavet:hotpath). col is the column's mirror
+// storage, passed in because the caller already holds it.
 func (c *Cluster) packAppendCol(col []float64) {
 	s := c.packStride
 	k := len(c.memberCols) - 1
@@ -213,7 +224,7 @@ func (c *Cluster) packAppendCol(col []float64) {
 }
 
 // packRemoveCol mirrors RemoveCol's swap-with-last on every pack block
-// (deltavet:writer).
+// (deltavet:writer, deltavet:hotpath).
 func (c *Cluster) packRemoveCol(pos int) {
 	s := c.packStride
 	last := len(c.memberCols) // caller truncated memberCols already; last slot is at the old end
@@ -224,7 +235,7 @@ func (c *Cluster) packRemoveCol(pos int) {
 
 // packSwapCols swaps two column slots in every pack block;
 // UndoColToggle uses it to mirror its member-order restoration
-// (deltavet:writer).
+// (deltavet:writer, deltavet:hotpath).
 func (c *Cluster) packSwapCols(a, b int) {
 	if a == b {
 		return

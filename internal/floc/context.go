@@ -135,6 +135,9 @@ func RunContext(ctx context.Context, m *matrix.Matrix, cfg Config) (*Result, err
 // configuration" for this purpose: the decide phase's worker count
 // never affects any output — results, traces, checkpoints — so a
 // checkpoint written at one worker count may resume at any other.
+//
+// deltavet:observability — the single wall-clock read seeds the
+// Duration reporting field; nothing fingerprinted depends on it.
 func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunOptions) (*Result, error) {
 	if err := cfg.validate(m.Rows(), m.Cols()); err != nil {
 		return nil, err

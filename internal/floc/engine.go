@@ -223,6 +223,9 @@ func (e *engine) finish() {
 }
 
 // result snapshots the engine's current clustering as a Result.
+//
+// deltavet:observability — time.Since fills the Duration reporting
+// field only; every other field is a pure function of engine state.
 func (e *engine) result(iterations int, trace []float64, start time.Time) *Result {
 	return &Result{
 		Clusters:        e.clusters,

@@ -24,6 +24,9 @@ var negInf = math.Inf(-1)
 // evalAction returns the gain of toggling item (isRow, idx) in cluster
 // c, or −∞ if the action is blocked by the configured constraints.
 // The cluster is left unmodified.
+//
+// deltavet:hotpath — one call per (item, cluster) pair per decide
+// phase; BenchmarkDecideAll pins the whole chain at 0 allocs/op.
 func (e *engine) evalAction(isRow bool, idx, c int) float64 {
 	e.gainEvals++
 	cl := e.clusters[c]
@@ -135,6 +138,9 @@ func (e *engine) violatesToggled(c int, wasMember bool) bool {
 // insertion the incoming entries are scored against the existing
 // bases (the item's own base is its mean over the cluster's
 // columns/rows). This is the ablation knob Config.ApproximateGain.
+//
+// deltavet:hotpath — replaces the exact scan per evaluation when
+// enabled; must stay allocation-free like the path it substitutes.
 func (e *engine) approximateGain(c int, isRow bool, idx int, isMember bool) float64 {
 	cl := e.clusters[c]
 	mean := e.cfg.ResidueMean
@@ -256,6 +262,9 @@ func (e *engine) approximateGain(c int, isRow bool, idx int, isMember bool) floa
 
 // decideOne determines the best action for item (isRow, idx) across
 // all k clusters against the current state.
+//
+// deltavet:hotpath — the decide phase's per-item kernel; everything it
+// statically calls inherits the allocation-free discipline.
 func (e *engine) decideOne(isRow bool, idx int) decision {
 	best := decision{isRow: isRow, idx: idx, clusterIdx: -1, gain: negInf}
 	for c := range e.clusters {

@@ -36,6 +36,11 @@ import (
 
 // derived holds the lazily built caches. It lives behind a pointer so
 // Clone can cheaply start with none.
+//
+// deltavet:derived-cache — every field write and every publication
+// through the m.der atomic.Pointer must happen in a deltavet:writer
+// function; any other write path desynchronizes the mirror from the
+// backing array.
 type derived struct {
 	// mirror is the column-major copy: mirror[j*rows+i] == data[i*cols+j].
 	mirror []float64
@@ -48,7 +53,8 @@ type derived struct {
 	colW    int // words per column in colMask
 }
 
-// invalidateDerived drops the caches; they rebuild on next use.
+// invalidateDerived drops the caches; they rebuild on next use
+// (deltavet:writer).
 func (m *Matrix) invalidateDerived() { m.der.Store(nil) }
 
 // EnsureDerived builds the column-major mirror and the missing-value
@@ -64,7 +70,11 @@ func (m *Matrix) EnsureDerived() {
 
 // buildDerived constructs both caches in one row-major sweep and
 // returns them (so inlinable accessors can avoid re-loading m.der).
-// Builds serialize on derMu; racing readers get the winner's build.
+// Builds serialize on derMu; racing readers get the winner's build
+// (deltavet:writer).
+//
+// deltavet:coldpath — one build per invalidation, amortized across
+// every later unit-stride scan.
 //
 //go:noinline
 func (m *Matrix) buildDerived() *derived {
@@ -95,7 +105,8 @@ func (m *Matrix) buildDerived() *derived {
 }
 
 // syncDerived records a single-entry update (i, j) → v in the caches,
-// if they exist. Mutators call it so a built cache never goes stale.
+// if they exist. Mutators call it so a built cache never goes stale
+// (deltavet:writer).
 func (m *Matrix) syncDerived(i, j int, v float64) {
 	d := m.der.Load()
 	if d == nil {

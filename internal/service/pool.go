@@ -28,6 +28,9 @@ func (s *Server) worker() {
 // runJob executes one queued job end to end: claim, run under the
 // job's own context, map the outcome to a terminal state, and flush
 // any interrupted-run checkpoint.
+//
+// deltavet:observability — the wall-clock reads here time the job for
+// metrics and logs; no clustering result depends on them.
 func (s *Server) runJob(id string) {
 	if s.Draining() {
 		// Drain semantics: jobs that never started are cancelled, not
