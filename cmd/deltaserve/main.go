@@ -1,13 +1,21 @@
 // Command deltaserve runs the asynchronous δ-cluster job service: an
 // HTTP JSON API over a bounded worker pool, with explicit
 // backpressure, per-job deadlines, TTL-evicted results and graceful
-// drain.
+// drain. With -coordinator it instead runs the multi-node front door:
+// consistent-hash routing across backend deltaserve processes,
+// checkpoint replication, and failover migration.
 //
 // Usage:
 //
 //	deltaserve [-addr :8080] [-workers 4] [-queue 64] [-ttl 15m]
 //	           [-deadline 0] [-max-deadline 0] [-checkpoint-dir DIR]
-//	           [-seed 1] [-drain-timeout 30s]
+//	           [-checkpoint-every 0] [-seed 1] [-drain-timeout 30s]
+//	           [-read-header-timeout 10s] [-read-timeout 1m]
+//	           [-write-timeout 5m] [-idle-timeout 2m]
+//
+//	deltaserve -coordinator -backends http://h1:8081,http://h2:8082
+//	           [-replication 1] [-probe-interval 1s] [-fail-threshold 3]
+//	           [-poll-interval 500ms] [-request-timeout 10s]
 //
 // # Lifecycle
 //
@@ -20,6 +28,11 @@
 // status endpoints keep serving during the drain so clients can
 // observe the final states; the process then exits 0. A second
 // signal kills the process immediately.
+//
+// A backend can also be drained without a signal: POST /v1/admin/drain
+// flips /readyz to 503 and checkpoint-stops its jobs, and a watching
+// coordinator migrates them to live backends, resuming FLOC runs from
+// the replicated checkpoints with zero recomputation.
 package main
 
 import (
@@ -31,9 +44,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"deltacluster/internal/coord"
 	"deltacluster/internal/service"
 )
 
@@ -46,9 +61,26 @@ func main() {
 		deadline     = flag.Duration("deadline", 0, "default per-job run deadline (0 = none)")
 		maxDeadline  = flag.Duration("max-deadline", 0, "hard cap on any job's deadline (0 = none)")
 		ckDir        = flag.String("checkpoint-dir", "", "flush interrupted FLOC job checkpoints here")
+		ckEvery      = flag.Int("checkpoint-every", 0, "cut a resumable FLOC checkpoint every N improving iterations (0 = only when interrupted); required for coordinator replication")
 		seed         = flag.Int64("seed", 1, "job-ID RNG seed (equal seeds issue equal ID sequences)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs on shutdown")
 		quiet        = flag.Bool("quiet", false, "suppress lifecycle logging")
+
+		// http.Server hardening: every phase of a connection is bounded,
+		// so a slow-loris client cannot pin the accept loop.
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "max time to read a request's headers")
+		readTimeout       = flag.Duration("read-timeout", time.Minute, "max time to read a whole request, body included")
+		writeTimeout      = flag.Duration("write-timeout", 5*time.Minute, "max time to write a response")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time between requests")
+
+		// Coordinator mode.
+		coordinator    = flag.Bool("coordinator", false, "run as a multi-node coordinator instead of a backend")
+		backends       = flag.String("backends", "", "comma-separated backend base URLs (coordinator mode)")
+		replication    = flag.Int("replication", 1, "checkpoint/metadata replicas per job beyond the owner (coordinator mode)")
+		probeInterval  = flag.Duration("probe-interval", time.Second, "backend health-probe cadence (coordinator mode)")
+		failThreshold  = flag.Int("fail-threshold", 3, "consecutive failures before a backend is down (coordinator mode)")
+		pollInterval   = flag.Duration("poll-interval", 500*time.Millisecond, "job view/checkpoint sync cadence (coordinator mode)")
+		requestTimeout = flag.Duration("request-timeout", 10*time.Second, "per-attempt timeout for backend calls (coordinator mode)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -56,6 +88,41 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	for _, d := range []struct {
+		name  string
+		value time.Duration
+	}{
+		{"-read-header-timeout", *readHeaderTimeout},
+		{"-read-timeout", *readTimeout},
+		{"-write-timeout", *writeTimeout},
+		{"-idle-timeout", *idleTimeout},
+	} {
+		if d.value <= 0 {
+			usageError("%s must be a positive duration (got %v)", d.name, d.value)
+		}
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	if *coordinator {
+		runCoordinator(logf, *addr, coord.Options{
+			Backends:       splitBackends(*backends),
+			Replication:    *replication,
+			ProbeInterval:  *probeInterval,
+			FailThreshold:  *failThreshold,
+			PollInterval:   *pollInterval,
+			RequestTimeout: *requestTimeout,
+			Seed:           *seed,
+			TTL:            *ttl,
+			Logf:           logf,
+		}, serverTimeouts{*readHeaderTimeout, *readTimeout, *writeTimeout, *idleTimeout})
+		return
+	}
+
 	if *workers < 1 {
 		usageError("-workers must be at least 1 (got %d)", *workers)
 	}
@@ -71,6 +138,9 @@ func main() {
 	if *maxDeadline < 0 {
 		usageError("-max-deadline must not be negative (got %v)", *maxDeadline)
 	}
+	if *ckEvery < 0 {
+		usageError("-checkpoint-every must not be negative (got %d)", *ckEvery)
+	}
 	if *drainTimeout <= 0 {
 		usageError("-drain-timeout must be a positive duration (got %v)", *drainTimeout)
 	}
@@ -78,12 +148,6 @@ func main() {
 		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
 			fatal(fmt.Errorf("creating -checkpoint-dir: %w", err))
 		}
-	}
-
-	logger := log.New(os.Stderr, "", log.LstdFlags)
-	logf := logger.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
 	}
 
 	svc := service.New(service.Options{
@@ -94,14 +158,12 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		CheckpointDir:   *ckDir,
+		CheckpointEvery: *ckEvery,
 		Logf:            logf,
 	})
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	httpSrv := hardenedServer(*addr, svc.Handler(),
+		serverTimeouts{*readHeaderTimeout, *readTimeout, *writeTimeout, *idleTimeout})
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
@@ -135,6 +197,78 @@ func main() {
 		logf("deltaserve: closing listener: %v", err)
 	}
 	logf("deltaserve: drained, exiting")
+}
+
+// serverTimeouts carries the four connection bounds every deltaserve
+// listener (backend or coordinator) applies.
+type serverTimeouts struct {
+	readHeader, read, write, idle time.Duration
+}
+
+func hardenedServer(addr string, h http.Handler, t serverTimeouts) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: t.readHeader,
+		ReadTimeout:       t.read,
+		WriteTimeout:      t.write,
+		IdleTimeout:       t.idle,
+	}
+}
+
+// runCoordinator is the -coordinator main: same signal-drain lifecycle
+// as a backend, but shutdown only stops the coordinator's own probe
+// and sync loops — backends drain on their own schedule.
+func runCoordinator(logf func(string, ...any), addr string, opts coord.Options, t serverTimeouts) {
+	if len(opts.Backends) == 0 {
+		usageError("-coordinator requires -backends (comma-separated base URLs)")
+	}
+	c, err := coord.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := hardenedServer(addr, c.Handler(), t)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	logf("deltaserve: coordinator listening on %s (%d backends, replication %d)",
+		addr, len(opts.Backends), opts.Replication)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+		stop()
+	}
+
+	logf("deltaserve: signal received; stopping coordinator")
+	stopCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Shutdown(stopCtx); err != nil {
+		logf("deltaserve: coordinator shutdown: %v", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("deltaserve: closing listener: %v", err)
+	}
+	logf("deltaserve: drained, exiting")
+}
+
+func splitBackends(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func usageError(format string, args ...any) {

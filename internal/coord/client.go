@@ -1,0 +1,134 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// client is the coordinator's HTTP client for backend calls: every
+// request carries a per-attempt timeout, and retryable failures
+// (network errors, 5xx) are retried a bounded number of times with
+// exponential backoff. There is no unbounded loop anywhere — the
+// worst case is maxAttempts × (timeout + backoff), after which the
+// caller sees the last error and decides (mark the backend down,
+// degrade the response, try the next peer).
+type client struct {
+	http        *http.Client
+	maxAttempts int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+}
+
+func newClient(timeout time.Duration, maxAttempts int, backoffBase, backoffMax time.Duration) *client {
+	return &client{
+		http:        &http.Client{Timeout: timeout},
+		maxAttempts: maxAttempts,
+		backoffBase: backoffBase,
+		backoffMax:  backoffMax,
+	}
+}
+
+// response is a fully-drained backend reply.
+type response struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// do issues method url with the given body, retrying on network
+// errors and 5xx responses. 4xx responses return immediately — the
+// backend understood the request and rejected it; retrying cannot
+// change its mind. The context bounds the whole campaign: a cancelled
+// coordinator stops retrying mid-backoff.
+//
+// Every internal write this client performs is idempotent by protocol
+// design (dispatch is keyed by ID, replica PUTs are monotonic), so
+// retrying a write that may or may not have landed is always safe.
+func (c *client) do(ctx context.Context, method, url string, body []byte, contentType string) (*response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.once(ctx, method, url, body, contentType)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		if resp.status >= 500 {
+			lastErr = fmt.Errorf("%s %s: backend returned %d", method, url, resp.status)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("%s %s: giving up after %d attempts: %w", method, url, c.maxAttempts, lastErr)
+}
+
+func (c *client) once(ctx context.Context, method, url string, body []byte, contentType string) (*response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%s %s: reading response: %w", method, url, err)
+	}
+	return &response{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// drain converts a raw *http.Response into a fully-read response,
+// closing the body — for the one call site (conditional GET with an
+// If-None-Match header) that builds its request by hand.
+func drain(raw *http.Response) *response {
+	data, err := io.ReadAll(raw.Body)
+	_ = raw.Body.Close()
+	if err != nil {
+		data = nil
+	}
+	return &response{status: raw.StatusCode, header: raw.Header, body: data}
+}
+
+// backoff is the delay before the attempt-th try (attempt ≥ 1):
+// base×2^(attempt-1), capped. Deterministic by design — the
+// coordinator's retry cadence is auditable from its config alone, and
+// with a handful of backends thundering herds are not a concern.
+func (c *client) backoff(attempt int) time.Duration {
+	d := c.backoffBase << (attempt - 1)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	return d
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,106 @@
+package coord
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testClient() *client {
+	return newClient(2*time.Second, 3, time.Millisecond, 4*time.Millisecond)
+}
+
+func TestClientRetries5xxThenSucceeds(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	resp, err := testClient().do(context.Background(), http.MethodGet, ts.URL, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != http.StatusOK || string(resp.body) != "ok" {
+		t.Fatalf("status %d body %q", resp.status, resp.body)
+	}
+	if n := atomic.LoadInt32(&calls); n != 3 {
+		t.Fatalf("server saw %d calls, want 3", n)
+	}
+}
+
+// TestClientRetriesAreBounded: a persistently failing backend costs
+// exactly maxAttempts calls, then an error — never a spin.
+func TestClientRetriesAreBounded(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	if _, err := testClient().do(context.Background(), http.MethodGet, ts.URL, nil, ""); err == nil {
+		t.Fatal("expected an error from an always-500 backend")
+	}
+	if n := atomic.LoadInt32(&calls); n != 3 {
+		t.Fatalf("server saw %d calls, want exactly maxAttempts=3", n)
+	}
+}
+
+// TestClientDoesNotRetry4xx: the backend understood and refused;
+// retrying cannot change its mind and only delays the caller.
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	resp, err := testClient().do(context.Background(), http.MethodGet, ts.URL, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.status)
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("server saw %d calls, want 1", n)
+	}
+}
+
+func TestClientHonorsContextMidBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := newClient(2*time.Second, 10, time.Hour, time.Hour) // huge backoff
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.do(ctx, http.MethodGet, ts.URL, nil, "")
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled do took %v; backoff is not context-aware", elapsed)
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	c := newClient(time.Second, 5, 100*time.Millisecond, 300*time.Millisecond)
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond, 300 * time.Millisecond}
+	for i, w := range want {
+		if got := c.backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}

@@ -1,0 +1,464 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deltacluster/internal/service"
+	"deltacluster/internal/synth"
+)
+
+// node is one in-process backend: a real service.Server behind a real
+// listener.
+type node struct {
+	svc *service.Server
+	ts  *httptest.Server
+}
+
+func startNode(t *testing.T, opts service.Options) *node {
+	t.Helper()
+	svc := service.New(opts)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = svc.Shutdown(testCtx(t, 10*time.Second))
+	})
+	return &node{svc: svc, ts: ts}
+}
+
+// cluster is a coordinator over in-process backends, all reachable
+// over real HTTP.
+type cluster struct {
+	coord *Coordinator
+	ts    *httptest.Server
+	nodes []*node
+}
+
+// fastOpts are test-speed coordinator intervals: failures surface in
+// hundreds of milliseconds instead of seconds.
+func fastOpts(backends []string) Options {
+	return Options{
+		Backends:       backends,
+		Replication:    1,
+		ProbeInterval:  50 * time.Millisecond,
+		FailThreshold:  2,
+		PollInterval:   50 * time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+		RetryAttempts:  2,
+		BackoffBase:    10 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+	}
+}
+
+func startCluster(t *testing.T, n int, tweak func(*Options), nodeOpts service.Options) *cluster {
+	t.Helper()
+	cl := &cluster{}
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		opts := nodeOpts
+		opts.Seed = int64(i + 1)
+		nd := startNode(t, opts)
+		cl.nodes = append(cl.nodes, nd)
+		urls = append(urls, nd.ts.URL)
+	}
+	co := fastOpts(urls)
+	if tweak != nil {
+		tweak(&co)
+	}
+	c, err := New(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.coord = c
+	cl.ts = httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		cl.ts.Close()
+		_ = c.Shutdown(testCtx(t, 10*time.Second))
+	})
+	return cl
+}
+
+func testCtx(t *testing.T, d time.Duration) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// do issues a JSON request against a base URL and returns status+body.
+func do(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	return resp.StatusCode, data
+}
+
+// fastSubmit is a small FLOC job that converges in milliseconds —
+// right for routing/proxy tests where the job's length is irrelevant.
+func fastSubmit(t *testing.T) *service.SubmitRequest {
+	t.Helper()
+	return &service.SubmitRequest{
+		Algorithm: service.AlgoFLOC,
+		Matrix:    service.MatrixPayload{CSV: synthCSV(t, 120, 18, 3, 70)},
+		FLOC:      &service.FLOCParams{K: 3, Delta: 10, Seed: 7, Seeding: "random", MaxIterations: 1000},
+	}
+}
+
+// slowSubmit is the deliberately slow workload: dozens of improving
+// iterations at visible wall time each, so drains and kills land
+// mid-run and checkpoints exist to migrate from.
+var slowCSV struct {
+	once sync.Once
+	csv  string
+}
+
+func slowSubmit(t *testing.T) *service.SubmitRequest {
+	t.Helper()
+	slowCSV.once.Do(func() { slowCSV.csv = synthCSV(t, 3000, 100, 30, 900) })
+	return &service.SubmitRequest{
+		Algorithm: service.AlgoFLOC,
+		Matrix:    service.MatrixPayload{CSV: slowCSV.csv},
+		FLOC:      &service.FLOCParams{K: 12, Delta: 8, Seed: 7, Seeding: "random", MaxIterations: 10_000},
+	}
+}
+
+func synthCSV(t *testing.T, rows, cols, clusters int, volume float64) string {
+	t.Helper()
+	ds, err := synth.Generate(synth.Config{
+		Rows: rows, Cols: cols, NumClusters: clusters,
+		VolumeMean: volume, VolumeVariance: 0, RowColRatio: 5,
+		TargetResidue: 4,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	for i := 0; i < ds.Matrix.Rows(); i++ {
+		for j := 0; j < ds.Matrix.Cols(); j++ {
+			if j > 0 {
+				csv.WriteByte(',')
+			}
+			if ds.Matrix.IsSpecified(i, j) {
+				fmt.Fprintf(&csv, "%g", ds.Matrix.Get(i, j))
+			}
+		}
+		csv.WriteByte('\n')
+	}
+	return csv.String()
+}
+
+// submitVia posts a job through the coordinator and returns the public
+// ID and the decoded response.
+func submitVia(t *testing.T, baseURL string, req *service.SubmitRequest) (string, SubmitResponse, *http.Response) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr SubmitResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Job.ID == "" {
+		t.Fatalf("submit response has no job ID: %s", body)
+	}
+	return sr.Job.ID, sr, resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer func() { _ = resp.Body.Close() }()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// pollDone polls a job through the given base URL until it is
+// terminal, returning the final view.
+func pollDone(t *testing.T, baseURL, id string, timeout time.Duration) service.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		status, body := do(t, http.MethodGet, baseURL+"/v1/jobs/"+id, nil)
+		if status != http.StatusOK {
+			t.Fatalf("poll %s: status %d, body %s", id, status, body)
+		}
+		var v service.JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		switch v.State {
+		case service.StateDone, service.StateFailed, service.StateCancelled:
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, v.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// fetchResult fetches and decodes a done job's result with the
+// wall-clock field zeroed for fingerprint comparison.
+func fetchResult(t *testing.T, baseURL, id string) service.ResultView {
+	t.Helper()
+	status, body := do(t, http.MethodGet, baseURL+"/v1/jobs/"+id+"/result", nil)
+	if status != http.StatusOK {
+		t.Fatalf("result %s: status %d, body %s", id, status, body)
+	}
+	var res service.ResultView
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	res.DurationMillis = 0
+	return res
+}
+
+func TestCoordinatorProxiesJobLifecycle(t *testing.T) {
+	cl := startCluster(t, 2, nil, service.Options{Workers: 1, QueueCap: 8})
+
+	id, sr, resp := submitVia(t, cl.ts.URL, fastSubmit(t))
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+id {
+		t.Fatalf("Location %q, want /v1/jobs/%s", loc, id)
+	}
+	if sr.Warning != "" {
+		t.Fatalf("fully replicated submit carries a warning: %q", sr.Warning)
+	}
+	if v := pollDone(t, cl.ts.URL, id, 30*time.Second); v.State != service.StateDone {
+		t.Fatalf("job finished %s: %+v", v.State, v)
+	}
+	res := fetchResult(t, cl.ts.URL, id)
+	if res.Algorithm != service.AlgoFLOC || len(res.Clusters) == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+
+	// The same job run directly on a lone backend produces the same
+	// fingerprint — the proxy adds routing, not noise.
+	lone := startNode(t, service.Options{Workers: 1, QueueCap: 8})
+	st, body := do(t, http.MethodPost, lone.ts.URL+"/v1/jobs", fastSubmit(t))
+	if st != http.StatusAccepted {
+		t.Fatalf("direct submit: status %d, body %s", st, body)
+	}
+	var direct service.SubmitResponse
+	if err := json.Unmarshal(body, &direct); err != nil {
+		t.Fatal(err)
+	}
+	pollDone(t, lone.ts.URL, direct.Job.ID, 30*time.Second)
+	if want := fetchResult(t, lone.ts.URL, direct.Job.ID); !reflect.DeepEqual(res, want) {
+		t.Fatalf("proxied result differs from direct run:\n got %+v\nwant %+v", res, want)
+	}
+
+	// Unknown jobs 404 through the coordinator too.
+	if st, _ := do(t, http.MethodGet, cl.ts.URL+"/v1/jobs/jdeadbeef00000000", nil); st != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", st)
+	}
+}
+
+func TestCoordinatorCancelProxies(t *testing.T) {
+	cl := startCluster(t, 2, nil, service.Options{Workers: 1, QueueCap: 8, CheckpointEvery: 1})
+	id, _, _ := submitVia(t, cl.ts.URL, slowSubmit(t))
+
+	// Cancel through the coordinator; the job must settle cancelled and
+	// never be migrated/resurrected afterwards.
+	st, body := do(t, http.MethodDelete, cl.ts.URL+"/v1/jobs/"+id, nil)
+	if st != http.StatusOK && st != http.StatusAccepted {
+		t.Fatalf("cancel: status %d, body %s", st, body)
+	}
+	v := pollDone(t, cl.ts.URL, id, 30*time.Second)
+	if v.State != service.StateCancelled {
+		t.Fatalf("cancelled job settled %s", v.State)
+	}
+	// Give the sync loop a few ticks to (wrongly) migrate; the state
+	// must stay cancelled.
+	time.Sleep(300 * time.Millisecond)
+	st, body = do(t, http.MethodGet, cl.ts.URL+"/v1/jobs/"+id, nil)
+	var after service.JobView
+	if err := json.Unmarshal(body, &after); err != nil || st != http.StatusOK {
+		t.Fatalf("post-cancel poll: status %d err %v", st, err)
+	}
+	if after.State != service.StateCancelled {
+		t.Fatalf("client-cancelled job was resurrected into %s", after.State)
+	}
+}
+
+// TestSubmitDegradesWhenReplicationUnmet: a replication target the
+// cluster cannot satisfy yields 202 + warning, not a 5xx — graceful
+// degradation is part of the submit contract.
+func TestSubmitDegradesWhenReplicationUnmet(t *testing.T) {
+	cl := startCluster(t, 2, func(o *Options) { o.Replication = 2 }, service.Options{Workers: 1, QueueCap: 8})
+	id, sr, resp := submitVia(t, cl.ts.URL, fastSubmit(t))
+	if sr.Warning == "" {
+		t.Fatal("submit under replication shortfall carries no warning")
+	}
+	if resp.Header.Get("X-Deltaserve-Degraded") != "replication" {
+		t.Fatalf("missing degradation header; got %q", resp.Header.Get("X-Deltaserve-Degraded"))
+	}
+	if v := pollDone(t, cl.ts.URL, id, 30*time.Second); v.State != service.StateDone {
+		t.Fatalf("degraded-accepted job finished %s", v.State)
+	}
+}
+
+// TestDrainMigratesJobWithZeroRecompute is the planned-migration path
+// end to end, in-process: drain the owner backend directly (as an
+// operator would), and the coordinator must move the running FLOC job
+// to the surviving backend, resume it from the replicated checkpoint,
+// and produce a final clustering bit-identical to an uninterrupted
+// single-node run.
+func TestDrainMigratesJobWithZeroRecompute(t *testing.T) {
+	nodeOpts := service.Options{Workers: 1, QueueCap: 8, CheckpointEvery: 1}
+
+	// Reference: uninterrupted run on a lone backend.
+	lone := startNode(t, nodeOpts)
+	st, body := do(t, http.MethodPost, lone.ts.URL+"/v1/jobs", slowSubmit(t))
+	if st != http.StatusAccepted {
+		t.Fatalf("reference submit: status %d, body %s", st, body)
+	}
+	var direct service.SubmitResponse
+	if err := json.Unmarshal(body, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if v := pollDone(t, lone.ts.URL, direct.Job.ID, 120*time.Second); v.State != service.StateDone {
+		t.Fatalf("reference job finished %s", v.State)
+	}
+	want := fetchResult(t, lone.ts.URL, direct.Job.ID)
+
+	cl := startCluster(t, 2, nil, nodeOpts)
+	id, _, _ := submitVia(t, cl.ts.URL, slowSubmit(t))
+
+	// Find the owner and wait until its job passes iteration 1 — a
+	// completed boundary guarantees a checkpoint to migrate from.
+	owner := ownerOf(t, cl, id)
+	waitForProgress(t, cl.ts.URL, id, 1, 60*time.Second)
+
+	if st, body := do(t, http.MethodPost, owner.ts.URL+"/v1/admin/drain", nil); st != http.StatusOK {
+		t.Fatalf("drain: status %d, body %s", st, body)
+	}
+
+	v := pollDone(t, cl.ts.URL, id, 120*time.Second)
+	if v.State != service.StateDone {
+		t.Fatalf("migrated job finished %s (error %q), want done", v.State, v.Error)
+	}
+	got := fetchResult(t, cl.ts.URL, id)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("migrated result differs from uninterrupted run:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The coordinator recorded the migration, and the drained node is
+	// seen as draining, not dead.
+	st, body = do(t, http.MethodGet, cl.ts.URL+"/metrics", nil)
+	if st != http.StatusOK {
+		t.Fatalf("metrics: status %d", st)
+	}
+	var mv MetricsView
+	if err := json.Unmarshal(body, &mv); err != nil {
+		t.Fatal(err)
+	}
+	if mv.Jobs.Migrations < 1 {
+		t.Fatalf("metrics report %d migrations, want ≥ 1: %s", mv.Jobs.Migrations, body)
+	}
+	if state := mv.Backends.States[owner.ts.URL]; state != "draining" {
+		t.Fatalf("drained backend probes %q, want draining (states %v)", state, mv.Backends.States)
+	}
+}
+
+// ownerOf finds which backend holds the job's initial dispatch.
+func ownerOf(t *testing.T, cl *cluster, id string) *node {
+	t.Helper()
+	for _, nd := range cl.nodes {
+		if st, _ := do(t, http.MethodGet, nd.ts.URL+"/v1/jobs/"+id, nil); st == http.StatusOK {
+			return nd
+		}
+	}
+	t.Fatalf("no backend knows job %s", id)
+	return nil
+}
+
+// waitForProgress polls through the coordinator until the job reports
+// at least n completed iterations.
+func waitForProgress(t *testing.T, baseURL, id string, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, body := do(t, http.MethodGet, baseURL+"/v1/jobs/"+id, nil)
+		if st != http.StatusOK {
+			t.Fatalf("poll: status %d, body %s", st, body)
+		}
+		var v service.JobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Progress != nil && v.Progress.Iteration >= n {
+			return
+		}
+		switch v.State {
+		case service.StateDone, service.StateFailed, service.StateCancelled:
+			t.Fatalf("job finished %s before reaching iteration %d", v.State, n)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached iteration %d", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReadyzReflectsBackendHealth: with every backend gone, the
+// coordinator stops reporting ready.
+func TestReadyzReflectsBackendHealth(t *testing.T) {
+	cl := startCluster(t, 1, nil, service.Options{Workers: 1, QueueCap: 4})
+	if st, _ := do(t, http.MethodGet, cl.ts.URL+"/readyz", nil); st != http.StatusOK {
+		t.Fatalf("readyz with a live backend: status %d", st)
+	}
+	cl.nodes[0].ts.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := do(t, http.MethodGet, cl.ts.URL+"/readyz", nil)
+		if st == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator still ready with every backend down")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Submissions now fail fast with the error model, not a hang.
+	st, body := do(t, http.MethodPost, cl.ts.URL+"/v1/jobs", fastSubmit(t))
+	if st != http.StatusServiceUnavailable && st != http.StatusBadGateway {
+		t.Fatalf("submit with no backends: status %d, body %s", st, body)
+	}
+}

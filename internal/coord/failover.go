@@ -1,0 +1,195 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"deltacluster/internal/floc"
+	"deltacluster/internal/service"
+)
+
+// migrate re-homes one job whose owner is gone (down), draining, or
+// has forgotten it. The sequence:
+//
+//  1. If the client already cancelled the job, settle it as cancelled
+//     — migration would resurrect work nobody wants.
+//  2. Pick the new owner: the first ready backend on the job's ring
+//     preference walk that is not the old owner.
+//  3. Recover the freshest checkpoint (FLOC, single-attempt jobs
+//     only): ask every replica peer, and the old owner too when it is
+//     merely draining — a draining node still serves reads. Freshest
+//     wins by boundary iteration; the bytes are decode-verified before
+//     use.
+//  4. Dispatch to the new owner under the next epoch's ID with the
+//     checkpoint attached. The backend resumes past the boundary with
+//     zero recomputation, bit-identical to the uninterrupted run.
+//  5. Commit: new owner, new epoch, fresh replica set, re-replicated
+//     metadata.
+//
+// Every step is bounded (the client's retry policy); any failure
+// leaves the routing entry untouched so the next sync tick retries
+// the whole migration. Multi-attempt and non-FLOC jobs migrate by
+// restarting from scratch — their engines have no resume contract.
+func (c *Coordinator) migrate(ctx context.Context, id string) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	if !ok || j.terminal {
+		c.mu.Unlock()
+		return
+	}
+	if j.clientCancelled {
+		j.lastView.State = service.StateCancelled
+		j.setTerminalLocked()
+		c.mu.Unlock()
+		return
+	}
+	oldOwner := j.owner
+	epoch := j.epoch
+	submit := j.submit
+	algorithm := j.algorithm
+	attempts := j.attempts
+	replicas := append([]string(nil), j.replicas...)
+	oldOwnerDown := c.backends[oldOwner] != nil && c.backends[oldOwner].state == stateDown
+	c.mu.Unlock()
+
+	newOwner, peers, _ := c.placementExcluding(id, oldOwner)
+	if newOwner == "" {
+		c.metrics.migrationDeferred()
+		c.logf("coord: job %s orphaned on %s and no ready backend to migrate to; will retry", id, oldOwner)
+		return
+	}
+
+	var resume []byte
+	resumeIters := 0
+	if algorithm == service.AlgoFLOC && attempts <= 1 {
+		sources := replicaCheckpointURLs(id, replicas)
+		if !oldOwnerDown {
+			sources = append(sources,
+				oldOwner+"/v1/internal/jobs/"+dispatchID(id, epoch)+"/checkpoint")
+		}
+		resume, resumeIters = c.bestCheckpoint(ctx, sources)
+	}
+
+	body, err := json.Marshal(service.DispatchRequest{
+		ID:               dispatchID(id, epoch+1),
+		ResumeCheckpoint: resume,
+		Submit:           submit,
+	})
+	if err != nil {
+		c.metrics.migrationFailed()
+		return
+	}
+	resp, err := c.client.do(ctx, http.MethodPost, newOwner+"/v1/internal/jobs", body, "application/json")
+	if err != nil {
+		c.metrics.migrationFailed()
+		c.noteCallFailure(newOwner)
+		c.logf("coord: migrating job %s %s → %s failed: %v", id, oldOwner, newOwner, err)
+		return
+	}
+	if resp.status != http.StatusAccepted && resp.status != http.StatusOK {
+		c.metrics.migrationFailed()
+		c.logf("coord: migrating job %s %s → %s refused: %d %s", id, oldOwner, newOwner, resp.status, resp.body)
+		return
+	}
+	var dr service.DispatchResponse
+	if err := json.Unmarshal(resp.body, &dr); err != nil {
+		c.metrics.migrationFailed()
+		return
+	}
+
+	view := dr.Job
+	view.ID = id
+	c.mu.Lock()
+	if j, ok := c.jobs[id]; ok {
+		j.owner = newOwner
+		j.epoch = epoch + 1
+		j.replicas = replicasWithout(peers, newOwner)
+		j.ckEtag = "" // next pull fetches the new owner's first boundary
+		j.cancelSeen = 0
+		j.lastView = view
+	}
+	c.mu.Unlock()
+	c.metrics.migrated()
+	c.logf("coord: job %s migrated %s → %s (epoch %d, resumed from iteration %d of %d replicated)",
+		id, oldOwner, newOwner, epoch+1, dr.ResumedFromIteration, resumeIters)
+
+	// Re-replicate metadata under the new placement; the next sync tick
+	// replicates the new owner's checkpoints the same way as always.
+	for _, peer := range replicasWithout(peers, newOwner) {
+		c.putMetaReplica(ctx, peer, id, &submit)
+	}
+}
+
+// placementExcluding is placement with one backend barred (the owner
+// being migrated away from — even if it still probes ready, routing
+// back defeats the point).
+func (c *Coordinator) placementExcluding(id, barred string) (owner string, peers []string, shortfall int) {
+	prefs := c.ring.prefs(id)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ready := make([]string, 0, len(prefs))
+	for _, name := range prefs {
+		if name == barred {
+			continue
+		}
+		if b := c.backends[name]; b != nil && b.state == stateUp {
+			ready = append(ready, name)
+		}
+	}
+	if len(ready) == 0 {
+		return "", nil, c.opts.Replication
+	}
+	owner = ready[0]
+	peers = ready[1:]
+	if len(peers) > c.opts.Replication {
+		peers = peers[:c.opts.Replication]
+	}
+	return owner, peers, c.opts.Replication - len(peers)
+}
+
+// replicaCheckpointURLs lists the peer-replica checkpoint endpoints
+// for a job.
+func replicaCheckpointURLs(id string, replicas []string) []string {
+	urls := make([]string, 0, len(replicas)+1)
+	for _, peer := range replicas {
+		urls = append(urls, peer+"/v1/internal/replicas/"+id+"/checkpoint")
+	}
+	return urls
+}
+
+// bestCheckpoint fetches every source and returns the
+// highest-iteration checkpoint that actually decodes, or nil when no
+// source has one — in which case the job restarts from scratch and
+// determinism still holds (same seed, same trajectory, just
+// recomputed).
+func (c *Coordinator) bestCheckpoint(ctx context.Context, urls []string) ([]byte, int) {
+	var best []byte
+	bestIters := -1
+	for _, url := range urls {
+		resp, err := c.client.do(ctx, http.MethodGet, url, nil, "")
+		if err != nil || resp.status != http.StatusOK {
+			continue
+		}
+		iters, err := strconv.Atoi(resp.header.Get(checkpointIterationsHeader))
+		if err != nil {
+			ck, derr := floc.DecodeCheckpoint(resp.body)
+			if derr != nil {
+				continue
+			}
+			iters = ck.Iterations
+		} else if _, derr := floc.DecodeCheckpoint(resp.body); derr != nil {
+			// A replica that does not decode is useless regardless of
+			// its advertised position.
+			continue
+		}
+		if iters > bestIters {
+			best, bestIters = resp.body, iters
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	return best, bestIters
+}

@@ -1,0 +1,102 @@
+package coord
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// probeLoop polls every backend's /readyz on a fixed cadence and runs
+// the per-backend state machine:
+//
+//	up ──(503 readyz)──▶ draining ──(200 readyz)──▶ up
+//	up ──(FailThreshold consecutive errors)──▶ down ──(200/503)──▶ up/draining
+//
+// A draining backend is alive (it answers, serves reads, flushes
+// checkpoints) but refuses new work; a down backend answers nothing.
+// Both stop receiving new jobs immediately, and the sync loop migrates
+// their jobs away. One probe failure never marks a node down — only
+// the threshold does — so a single dropped packet cannot trigger a
+// migration storm.
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	t := time.NewTicker(c.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll probes each backend once. Probes are single attempts (the
+// loop itself is the retry) with the client's per-request timeout.
+func (c *Coordinator) probeAll(ctx context.Context) {
+	for _, name := range c.ring.names {
+		resp, err := c.client.once(ctx, http.MethodGet, name+"/readyz", nil, "")
+		if ctx.Err() != nil {
+			return
+		}
+		c.metrics.probe()
+		switch {
+		case err != nil:
+			c.noteCallFailure(name)
+		case resp.status == http.StatusOK:
+			c.setBackendState(name, stateUp)
+		case resp.status == http.StatusServiceUnavailable:
+			c.setBackendState(name, stateDraining)
+		default:
+			// An unexpected status is an unhealthy answer, not a dead
+			// transport; count it like a failure.
+			c.noteCallFailure(name)
+		}
+	}
+}
+
+// noteCallFailure records a failed backend call — probe or proxied —
+// against the failure threshold. Proxied traffic thereby contributes
+// to failure detection between probe ticks: a backend that times out
+// on real requests goes down without waiting for FailThreshold probe
+// intervals.
+func (c *Coordinator) noteCallFailure(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.backends[name]
+	if b == nil {
+		return
+	}
+	b.fails++
+	if b.fails >= c.opts.FailThreshold && b.state != stateDown {
+		b.state = stateDown
+		c.metrics.backendDown()
+		c.logfLocked("coord: backend %s down after %d consecutive failures", name, b.fails)
+	}
+}
+
+// setBackendState commits a definitive probe verdict and resets the
+// failure counter.
+func (c *Coordinator) setBackendState(name string, state backendState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.backends[name]
+	if b == nil {
+		return
+	}
+	b.fails = 0
+	if b.state == state {
+		return
+	}
+	prev := b.state
+	b.state = state
+	c.logfLocked("coord: backend %s %s → %s", name, prev, state)
+}
+
+// logfLocked logs while holding c.mu; the log sink must not call back
+// into the coordinator (none does — it is fmt/log in practice).
+func (c *Coordinator) logfLocked(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}

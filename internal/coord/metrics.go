@@ -1,0 +1,82 @@
+package coord
+
+import "sync/atomic"
+
+// metrics is the coordinator's counter panel, lock-free like the
+// service's.
+type metrics struct {
+	routed             uint64 // jobs accepted and dispatched
+	degraded           uint64 // accepted below the replication target
+	probes             uint64
+	backendsDown       uint64 // up/draining → down transitions
+	migrations         uint64 // committed migrations
+	migrationFailures  uint64 // attempts that will be retried
+	migrationsDeferred uint64 // no ready backend to migrate to
+	checkpointPulls    uint64 // non-304 checkpoint downloads
+	replicaPuts        uint64 // successful replica PUTs (meta + ckpt)
+	replicaPutFails    uint64
+}
+
+func (m *metrics) jobRouted()         { atomic.AddUint64(&m.routed, 1) }
+func (m *metrics) jobDegraded()       { atomic.AddUint64(&m.degraded, 1) }
+func (m *metrics) probe()             { atomic.AddUint64(&m.probes, 1) }
+func (m *metrics) backendDown()       { atomic.AddUint64(&m.backendsDown, 1) }
+func (m *metrics) migrated()          { atomic.AddUint64(&m.migrations, 1) }
+func (m *metrics) migrationFailed()   { atomic.AddUint64(&m.migrationFailures, 1) }
+func (m *metrics) migrationDeferred() { atomic.AddUint64(&m.migrationsDeferred, 1) }
+func (m *metrics) checkpointPulled()  { atomic.AddUint64(&m.checkpointPulls, 1) }
+func (m *metrics) replicaPut()        { atomic.AddUint64(&m.replicaPuts, 1) }
+func (m *metrics) replicaPutFailed()  { atomic.AddUint64(&m.replicaPutFails, 1) }
+
+// MetricsView is the JSON body of the coordinator's GET /metrics.
+type MetricsView struct {
+	Jobs        JobsMetrics        `json:"jobs"`
+	Replication ReplicationMetrics `json:"replication"`
+	Backends    BackendsMetrics    `json:"backends"`
+}
+
+type JobsMetrics struct {
+	Routed             uint64 `json:"routed"`
+	Degraded           uint64 `json:"degraded"`
+	Tracked            int    `json:"tracked"`
+	Active             int    `json:"active"`
+	Migrations         uint64 `json:"migrations"`
+	MigrationFailures  uint64 `json:"migration_failures"`
+	MigrationsDeferred uint64 `json:"migrations_deferred"`
+}
+
+type ReplicationMetrics struct {
+	CheckpointPulls uint64 `json:"checkpoint_pulls"`
+	ReplicaPuts     uint64 `json:"replica_puts"`
+	ReplicaPutFails uint64 `json:"replica_put_failures"`
+}
+
+type BackendsMetrics struct {
+	Probes          uint64            `json:"probes"`
+	DownTransitions uint64            `json:"down_transitions"`
+	States          map[string]string `json:"states"`
+}
+
+func (m *metrics) snapshot(tracked, active int, states map[string]string) MetricsView {
+	return MetricsView{
+		Jobs: JobsMetrics{
+			Routed:             atomic.LoadUint64(&m.routed),
+			Degraded:           atomic.LoadUint64(&m.degraded),
+			Tracked:            tracked,
+			Active:             active,
+			Migrations:         atomic.LoadUint64(&m.migrations),
+			MigrationFailures:  atomic.LoadUint64(&m.migrationFailures),
+			MigrationsDeferred: atomic.LoadUint64(&m.migrationsDeferred),
+		},
+		Replication: ReplicationMetrics{
+			CheckpointPulls: atomic.LoadUint64(&m.checkpointPulls),
+			ReplicaPuts:     atomic.LoadUint64(&m.replicaPuts),
+			ReplicaPutFails: atomic.LoadUint64(&m.replicaPutFails),
+		},
+		Backends: BackendsMetrics{
+			Probes:          atomic.LoadUint64(&m.probes),
+			DownTransitions: atomic.LoadUint64(&m.backendsDown),
+			States:          states,
+		},
+	}
+}

@@ -1,0 +1,229 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"deltacluster/internal/service"
+)
+
+// checkpointIterationsHeader mirrors the service's header carrying a
+// checkpoint response's boundary iteration count.
+const checkpointIterationsHeader = "X-Deltaserve-Checkpoint-Iterations"
+
+// syncLoop is the coordinator's maintenance heartbeat. Every tick it
+// walks the routing table once and, per non-terminal job:
+//
+//   - owner not up (down or draining)  → migrate it (failover.go);
+//   - owner up                         → refresh the job view, and for
+//     FLOC jobs pull the owner's latest checkpoint (conditional GET,
+//     so an unchanged boundary costs one cheap 304) and push it to the
+//     job's replica peers;
+//   - owner up but the job sits cancelled without a client cancel —
+//     someone interfered with the backend directly — → after a few
+//     confirming ticks, accept it as terminal rather than fight over
+//     it.
+//
+// Terminal jobs get their peer replicas deleted once (best-effort) and
+// their routing entries evicted after the TTL.
+func (c *Coordinator) syncLoop(ctx context.Context) {
+	t := time.NewTicker(c.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.syncOnce(ctx)
+		}
+	}
+}
+
+// syncRef is the per-job snapshot the sync loop works from, taken
+// under the lock and acted on outside it.
+type syncRef struct {
+	id              string
+	owner           string
+	epoch           int
+	algorithm       string
+	replicas        []string
+	ckEtag          string
+	clientCancelled bool
+	ownerUp         bool
+}
+
+func (c *Coordinator) syncOnce(ctx context.Context) {
+	c.evictExpired()
+
+	c.mu.Lock()
+	refs := make([]syncRef, 0, len(c.jobs))
+	for id, j := range c.jobs {
+		if j.terminal {
+			continue
+		}
+		b := c.backends[j.owner]
+		refs = append(refs, syncRef{
+			id:              id,
+			owner:           j.owner,
+			epoch:           j.epoch,
+			algorithm:       j.algorithm,
+			replicas:        append([]string(nil), j.replicas...),
+			ckEtag:          j.ckEtag,
+			clientCancelled: j.clientCancelled,
+			ownerUp:         b != nil && b.state == stateUp,
+		})
+	}
+	c.mu.Unlock()
+
+	for _, ref := range refs {
+		if ctx.Err() != nil {
+			return
+		}
+		if !ref.ownerUp {
+			c.migrate(ctx, ref.id)
+			continue
+		}
+		c.syncJob(ctx, ref)
+	}
+}
+
+// syncJob refreshes one job from its (up) owner and replicates its
+// checkpoint forward.
+func (c *Coordinator) syncJob(ctx context.Context, ref syncRef) {
+	resp, err := c.client.do(ctx, http.MethodGet,
+		ref.owner+"/v1/jobs/"+dispatchID(ref.id, ref.epoch), nil, "")
+	if err != nil {
+		c.noteCallFailure(ref.owner)
+		return
+	}
+	if resp.status != http.StatusOK {
+		// The owner no longer knows the job (evicted, or the dispatch
+		// was lost). Treat like an interrupted run: migrate from the
+		// best replicated checkpoint.
+		c.migrate(ctx, ref.id)
+		return
+	}
+	var v service.JobView
+	if err := json.Unmarshal(resp.body, &v); err != nil {
+		return
+	}
+	v.ID = ref.id
+	c.commitView(ref.id, v)
+
+	if v.State == service.StateCancelled && !ref.clientCancelled {
+		// Cancelled, but not by our client, on a backend that still
+		// probes ready: direct interference. Confirm over a few ticks
+		// (a drain flips readiness within a probe interval and takes
+		// the migration path instead), then let it rest.
+		if c.bumpCancelSeen(ref.id) {
+			return
+		}
+	}
+
+	if ref.algorithm == service.AlgoFLOC && v.State == service.StateRunning {
+		c.pullAndPush(ctx, ref)
+	}
+
+	if c.isTerminal(ref.id) {
+		c.cleanupReplicas(ctx, ref.id, ref.replicas)
+	}
+}
+
+// bumpCancelSeen counts consecutive "cancelled without a client
+// cancel, owner still up" observations; after cancelConfirmTicks it
+// finalizes the job as terminal and reports true.
+const cancelConfirmTicks = 3
+
+func (c *Coordinator) bumpCancelSeen(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return true
+	}
+	j.cancelSeen++
+	if j.cancelSeen >= cancelConfirmTicks {
+		j.lastView.State = service.StateCancelled
+		j.setTerminalLocked()
+		return true
+	}
+	return false
+}
+
+func (c *Coordinator) isTerminal(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return ok && j.terminal
+}
+
+// pullAndPush pulls the owner's latest checkpoint when it advanced
+// (ETag-conditional) and pushes it to every replica peer. Push
+// failures are counted, never retried beyond the client's bounded
+// policy — the next boundary brings a fresh, strictly better replica
+// anyway.
+func (c *Coordinator) pullAndPush(ctx context.Context, ref syncRef) {
+	url := ref.owner + "/v1/internal/jobs/" + dispatchID(ref.id, ref.epoch) + "/checkpoint"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	if ref.ckEtag != "" {
+		req.Header.Set("If-None-Match", ref.ckEtag)
+	}
+	raw, err := c.client.http.Do(req)
+	if err != nil {
+		c.noteCallFailure(ref.owner)
+		return
+	}
+	resp := drain(raw)
+	if resp.status == http.StatusNotModified || resp.status != http.StatusOK {
+		return
+	}
+	c.metrics.checkpointPulled()
+	iters, _ := strconv.Atoi(resp.header.Get(checkpointIterationsHeader))
+
+	for _, peer := range ref.replicas {
+		pr, err := c.client.do(ctx, http.MethodPut,
+			peer+"/v1/internal/replicas/"+ref.id+"/checkpoint", resp.body, "application/octet-stream")
+		if err != nil || pr.status != http.StatusOK {
+			c.metrics.replicaPutFailed()
+			c.noteCallFailure(peer)
+			continue
+		}
+		c.metrics.replicaPut()
+	}
+
+	c.mu.Lock()
+	if j, ok := c.jobs[ref.id]; ok {
+		// The ETag advances even when pushes failed: the pull succeeded,
+		// and re-pushing the same boundary is pointless — the next one
+		// supersedes it.
+		j.ckEtag = resp.header.Get("ETag")
+		if iters > j.ckIters {
+			j.ckIters = iters
+		}
+	}
+	c.mu.Unlock()
+}
+
+// cleanupReplicas best-effort deletes a terminal job's peer replicas.
+// Runs once per job: the replicas list is cleared on first call.
+func (c *Coordinator) cleanupReplicas(ctx context.Context, id string, replicas []string) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	if !ok || len(j.replicas) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	j.replicas = nil
+	c.mu.Unlock()
+	for _, peer := range replicas {
+		if resp, err := c.client.do(ctx, http.MethodDelete, peer+"/v1/internal/replicas/"+id, nil, ""); err != nil || resp.status != http.StatusOK {
+			c.logf("coord: dropping replica of %s on %s failed; it ages out via the backend's bound", id, peer)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package coord
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend names. Each backend
+// contributes virtualNodes points (FNV-64a of "name#i") so load
+// spreads evenly even with two or three backends; a job ID hashes to a
+// point and walks clockwise. The ring is immutable after newRing —
+// backend *membership* is static per coordinator process, and
+// liveness is filtered at lookup time by the caller, so a backend
+// going down never reshuffles jobs between the survivors.
+type ring struct {
+	points []ringPoint
+	names  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// virtualNodes is the number of ring points per backend. 64 keeps the
+// max/min load ratio under ~1.3 for small clusters while the full
+// ring stays tiny (N×64 entries, binary-searched).
+const virtualNodes = 64
+
+func newRing(names []string) *ring {
+	r := &ring{names: append([]string(nil), names...)}
+	sort.Strings(r.names)
+	r.points = make([]ringPoint, 0, len(r.names)*virtualNodes)
+	for _, name := range r.names {
+		for i := 0; i < virtualNodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hashKey(fmt.Sprintf("%s#%d", name, i)),
+				name: name,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// prefs returns every backend exactly once, in the ring order a
+// clockwise walk from key's point visits them. prefs[0] is the key's
+// owner; prefs[1:] are the replica candidates and the failover order.
+func (r *ring) prefs(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= hashKey(key)
+	})
+	out := make([]string, 0, len(r.names))
+	seen := make(map[string]bool, len(r.names))
+	for i := 0; i < len(r.points) && len(out) < len(r.names); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.name] {
+			seen[p.name] = true
+			out = append(out, p.name)
+		}
+	}
+	return out
+}

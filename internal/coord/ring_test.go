@@ -1,0 +1,79 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPrefsCoverAllBackendsOnce(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r := newRing(names)
+	for i := 0; i < 100; i++ {
+		prefs := r.prefs(fmt.Sprintf("j%016x", i))
+		if len(prefs) != len(names) {
+			t.Fatalf("prefs has %d entries, want %d: %v", len(prefs), len(names), prefs)
+		}
+		seen := map[string]bool{}
+		for _, p := range prefs {
+			if seen[p] {
+				t.Fatalf("backend %s appears twice in %v", p, prefs)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRingPrefsDeterministic(t *testing.T) {
+	a := newRing([]string{"http://x", "http://y", "http://z"})
+	// Construction order must not matter.
+	b := newRing([]string{"http://z", "http://x", "http://y"})
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		pa, pb := a.prefs(key), b.prefs(key)
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("key %q: prefs differ by construction order: %v vs %v", key, pa, pb)
+			}
+		}
+	}
+}
+
+// TestRingFailoverPreservesSurvivorOrder is the consistent-hashing
+// property failover relies on: excluding one backend (as placement
+// does for a dead node) never reorders the remaining preference walk,
+// so only the dead node's jobs move.
+func TestRingFailoverPreservesSurvivorOrder(t *testing.T) {
+	r := newRing([]string{"http://a", "http://b", "http://c", "http://d"})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("j%d", i)
+		full := r.prefs(key)
+		dead := full[0]
+		var survivors []string
+		for _, p := range full {
+			if p != dead {
+				survivors = append(survivors, p)
+			}
+		}
+		// The survivors, in full-walk order, are exactly what a filtered
+		// placement produces — full[1] inherits the job, everyone else's
+		// position is unchanged.
+		if survivors[0] != full[1] {
+			t.Fatalf("key %q: successor %s is not full[1]=%s", key, survivors[0], full[1])
+		}
+	}
+}
+
+func TestRingSpreadsLoad(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r := newRing(names)
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.prefs(fmt.Sprintf("j%016x", i*2654435761))[0]]++
+	}
+	for _, name := range names {
+		if counts[name] < n/10 {
+			t.Fatalf("backend %s owns only %d/%d keys; ring is badly skewed: %v", name, counts[name], n, counts)
+		}
+	}
+}

@@ -358,6 +358,27 @@ func (d *ckDecoder) ints() []int {
 	return out
 }
 
+// EncodeCheckpoint renders the checkpoint in the versioned,
+// checksummed DCKP byte format — the same bytes WriteCheckpointFile
+// persists, exposed for transports that are not files (checkpoint
+// replication between deltaserve nodes ships these bytes over HTTP).
+func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
+	return ck.MarshalBinary()
+}
+
+// DecodeCheckpoint parses and verifies a DCKP encoding produced by
+// EncodeCheckpoint (or read back from a checkpoint file). It rejects
+// bad magic, unknown versions, truncation and checksum mismatches
+// before interpreting any payload field, so a torn or hostile
+// replicated checkpoint fails loudly instead of resuming from garbage.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	ck := new(Checkpoint)
+	if err := ck.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
 // WriteCheckpointFile writes the checkpoint to path atomically: the
 // encoding goes to a temporary file in the same directory, is fsynced,
 // and is renamed over path, so a crash mid-write can never leave a

@@ -187,6 +187,8 @@ const (
 	CodeJobFailed      = "job_failed"
 	CodeJobCancelled   = "job_cancelled"
 	CodeInternal       = "internal"
+	CodeNoCheckpoint   = "no_checkpoint"
+	CodeBadCheckpoint  = "bad_checkpoint"
 )
 
 // apiError carries an HTTP status and a machine-readable code through
@@ -215,6 +217,12 @@ type runSpec struct {
 	bic       bicluster.Config
 	clq       clique.Config
 	deadline  time.Duration
+
+	// resume, when non-nil, restarts a FLOC job from this checkpoint
+	// boundary instead of seeding — the coordinator's zero-recompute
+	// migration path. Resumed jobs always run exactly one attempt with
+	// the checkpoint's seed.
+	resume *floc.Checkpoint
 }
 
 // buildSpec validates a SubmitRequest against the server's limits and

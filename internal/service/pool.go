@@ -135,7 +135,7 @@ func (s *Server) flushCheckpoint(id string) {
 	if s.opts.CheckpointDir == "" {
 		return
 	}
-	ck := s.store.takeCheckpoint(id)
+	ck := s.store.latestCheckpoint(id)
 	if ck == nil {
 		return
 	}
@@ -153,20 +153,15 @@ func (s *Server) flushCheckpoint(id string) {
 // uses, now one-per-job. Live progress and interrupted-attempt
 // checkpoints are threaded into the store as they happen.
 func (s *Server) runFLOC(ctx context.Context, id string, spec *runSpec) (*ResultView, error) {
+	if spec.resume != nil {
+		return s.resumeFLOC(ctx, id, spec)
+	}
 	var attemptN int64
 	run := func(ctx context.Context, seed int64) (*floc.Result, error) {
 		n := int(atomic.AddInt64(&attemptN, 1))
 		cfg := spec.floc
 		cfg.Seed = seed
-		res, err := floc.RunWithOptions(ctx, spec.m, cfg, floc.RunOptions{
-			OnProgress: func(p floc.Progress) {
-				s.store.setProgress(id, ProgressView{
-					Attempt:    n,
-					Iteration:  p.Iteration,
-					AvgResidue: p.AvgResidue,
-				})
-			},
-		})
+		res, err := floc.RunWithOptions(ctx, spec.m, cfg, s.flocRunOptions(id, n))
 		if err != nil {
 			var pr *floc.PartialResult
 			if errors.As(err, &pr) && pr.Checkpoint != nil {
@@ -202,6 +197,70 @@ func (s *Server) runFLOC(ctx context.Context, id string, spec *runSpec) (*Result
 		}
 	}
 	return view, nil
+}
+
+// flocRunOptions assembles the per-attempt RunOptions: live progress
+// into the store, and — when the server checkpoints periodically —
+// every boundary checkpoint into the store too, where the replication
+// endpoint serves it.
+func (s *Server) flocRunOptions(id string, attempt int) floc.RunOptions {
+	opts := floc.RunOptions{
+		OnProgress: func(p floc.Progress) {
+			s.store.setProgress(id, ProgressView{
+				Attempt:    attempt,
+				Iteration:  p.Iteration,
+				AvgResidue: p.AvgResidue,
+			})
+		},
+	}
+	if s.opts.CheckpointEvery > 0 {
+		opts.CheckpointEvery = s.opts.CheckpointEvery
+		opts.OnCheckpoint = func(ck *floc.Checkpoint) error {
+			s.store.setCheckpoint(id, ck)
+			return nil
+		}
+	}
+	return opts
+}
+
+// resumeFLOC continues a migrated FLOC job from its replicated
+// checkpoint: exactly one attempt, seeded as the checkpoint records,
+// so the trajectory past the boundary is bit-identical to the one the
+// lost backend would have produced. A resumed run that is itself
+// interrupted flushes a fresh (strictly later) checkpoint, so repeated
+// failovers never recompute a completed boundary.
+func (s *Server) resumeFLOC(ctx context.Context, id string, spec *runSpec) (*ResultView, error) {
+	s.store.setCheckpoint(id, spec.resume)
+	cfg := spec.floc
+	opts := s.flocRunOptions(id, 1)
+	opts.Resume = spec.resume
+	res, err := floc.RunWithOptions(ctx, spec.m, cfg, opts)
+	if err != nil {
+		var pr *floc.PartialResult
+		if !errors.As(err, &pr) {
+			return nil, err
+		}
+		if pr.Checkpoint != nil {
+			s.store.setCheckpoint(id, pr.Checkpoint)
+		}
+		view := flocView(pr.Result, cfg.Seed)
+		view.Partial = true
+		return view, err
+	}
+	return flocView(res, cfg.Seed), nil
+}
+
+// flocView renders a single-attempt FLOC result.
+func flocView(res *floc.Result, seed int64) *ResultView {
+	return &ResultView{
+		Algorithm:      AlgoFLOC,
+		AvgResidue:     res.AvgResidue,
+		Iterations:     res.Iterations,
+		BestSeed:       seed,
+		Attempts:       1,
+		DurationMillis: res.Duration.Milliseconds(),
+		Clusters:       clusterViews(res.Clusters),
+	}
 }
 
 func runBicluster(ctx context.Context, spec *runSpec) (*ResultView, error) {

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"sort"
+	"sync"
+)
+
+// replicaStore is the backend half of coordinator-driven replication:
+// a bounded in-memory table of job metadata and checkpoint encodings
+// this node holds on behalf of jobs *owned by peer backends*. The
+// coordinator PUTs here after every checkpoint pull, and reads back
+// during failover when the owner is already gone.
+//
+// The store is deliberately dumb — opaque bytes in, opaque bytes out —
+// with exactly three smarts:
+//
+//   - checkpoint writes are verified (the DCKP envelope must decode)
+//     and monotonic (a replica never regresses to fewer iterations),
+//     so a delayed or replayed PUT cannot shadow fresher state;
+//   - capacity is bounded; when full, the least-recently-written entry
+//     is evicted, chosen by a logical write sequence rather than the
+//     wall clock (deltavet:deterministic holds even here);
+//   - entries are small-N and mutex-guarded — replication traffic is
+//     one PUT per checkpoint boundary, not a hot path.
+type replicaStore struct {
+	mu         sync.Mutex
+	maxEntries int
+	seq        uint64
+	entries    map[string]*replica
+}
+
+// replica is one job's replicated state.
+type replica struct {
+	meta         []byte
+	checkpoint   []byte
+	ckIterations int
+	touched      uint64
+}
+
+func newReplicaStore(maxEntries int) *replicaStore {
+	return &replicaStore{
+		maxEntries: maxEntries,
+		entries:    make(map[string]*replica),
+	}
+}
+
+// get returns the entry's metadata and checkpoint encodings (nil when
+// absent); ok reports whether the job has any replicated state at all.
+func (rs *replicaStore) get(id string) (meta, checkpoint []byte, iterations int, ok bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r := rs.entries[id]
+	if r == nil {
+		return nil, nil, 0, false
+	}
+	return r.meta, r.checkpoint, r.ckIterations, true
+}
+
+// putMeta stores the job's opaque metadata blob.
+func (rs *replicaStore) putMeta(id string, meta []byte) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r := rs.upsertLocked(id)
+	r.meta = meta
+	rs.seq++
+	r.touched = rs.seq
+}
+
+// putCheckpoint stores a verified checkpoint encoding cut at the given
+// iteration. It reports false — and keeps the stored bytes — when the
+// offered checkpoint is older than the one already held, which is what
+// makes replication safe under retries and reordering.
+func (rs *replicaStore) putCheckpoint(id string, data []byte, iterations int) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	r := rs.upsertLocked(id)
+	if r.checkpoint != nil && iterations < r.ckIterations {
+		return false
+	}
+	r.checkpoint = data
+	r.ckIterations = iterations
+	rs.seq++
+	r.touched = rs.seq
+	return true
+}
+
+// drop removes the job's replicated state, reporting whether anything
+// was held.
+func (rs *replicaStore) drop(id string) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	_, had := rs.entries[id]
+	delete(rs.entries, id)
+	return had
+}
+
+// count reports the number of replicated jobs.
+func (rs *replicaStore) count() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.entries)
+}
+
+// upsertLocked returns the entry for id, creating it — and evicting
+// the least-recently-written entry when the table is full. The
+// eviction scan sorts IDs first to honor the package's determinism
+// discipline (the victim is fully determined by the write sequence;
+// the sort only fixes the scan order).
+func (rs *replicaStore) upsertLocked(id string) *replica {
+	if r := rs.entries[id]; r != nil {
+		return r
+	}
+	if rs.maxEntries > 0 && len(rs.entries) >= rs.maxEntries {
+		ids := make([]string, 0, len(rs.entries))
+		for k := range rs.entries {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		victim := ""
+		var oldest uint64
+		for _, k := range ids {
+			if t := rs.entries[k].touched; victim == "" || t < oldest {
+				victim, oldest = k, t
+			}
+		}
+		delete(rs.entries, victim)
+	}
+	r := &replica{}
+	rs.entries[id] = r
+	return r
+}

@@ -70,6 +70,18 @@ type Options struct {
 	// for FLOC jobs interrupted mid-run (cancel, deadline, drain).
 	CheckpointDir string
 
+	// CheckpointEvery, when positive, cuts a resumable checkpoint after
+	// every n-th improving FLOC iteration and keeps the latest in the
+	// job store, where GET /v1/internal/jobs/{id}/checkpoint serves it
+	// for coordinator replication. 0 keeps only interrupted-run
+	// checkpoints (the single-node default).
+	CheckpointEvery int
+
+	// MaxReplicaEntries bounds the peer-replica table (checkpoints and
+	// job metadata held for jobs owned by other backends). When full,
+	// the least-recently-written entry is evicted. Defaults to 1024.
+	MaxReplicaEntries int
+
 	// RetryAfter is the hint returned with 429 responses. Defaults to
 	// 1s.
 	RetryAfter time.Duration
@@ -112,6 +124,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxMatrixEntries == 0 {
 		o.MaxMatrixEntries = 4 << 20
 	}
+	if o.MaxReplicaEntries <= 0 {
+		o.MaxReplicaEntries = 1024
+	}
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
@@ -122,15 +137,20 @@ func (o Options) withDefaults() Options {
 // and metrics. Create one with New, mount Handler on any mux or
 // listener, and Shutdown to drain.
 type Server struct {
-	opts    Options
-	store   *store
-	metrics *metrics
-	mux     *http.ServeMux
-	queue   chan string
-	wg      sync.WaitGroup
+	opts     Options
+	store    *store
+	replicas *replicaStore
+	metrics  *metrics
+	mux      *http.ServeMux
+	queue    chan string
+	wg       sync.WaitGroup
 
 	mu       sync.Mutex
 	draining bool
+	// notReady is the admin-drain flag: /readyz turns 503 and
+	// submissions are refused, but the process keeps serving reads —
+	// the planned-migration half-state between "up" and "shut down".
+	notReady bool
 
 	shutdownOnce sync.Once
 	shutdownErr  error
@@ -146,10 +166,11 @@ type Server struct {
 func New(opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{
-		opts:    o,
-		store:   newJobStore(o.Seed, o.TTL, o.Clock),
-		metrics: &metrics{},
-		queue:   make(chan string, o.QueueCap),
+		opts:     o,
+		store:    newJobStore(o.Seed, o.TTL, o.Clock),
+		replicas: newReplicaStore(o.MaxReplicaEntries),
+		metrics:  &metrics{},
+		queue:    make(chan string, o.QueueCap),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -157,7 +178,16 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/admin/drain", s.handleDrain)
+	s.mux.HandleFunc("POST /v1/internal/jobs", s.handleDispatch)
+	s.mux.HandleFunc("GET /v1/internal/jobs/{id}/checkpoint", s.handleJobCheckpoint)
+	s.mux.HandleFunc("PUT /v1/internal/replicas/{id}/checkpoint", s.handleReplicaPutCheckpoint)
+	s.mux.HandleFunc("GET /v1/internal/replicas/{id}/checkpoint", s.handleReplicaGetCheckpoint)
+	s.mux.HandleFunc("PUT /v1/internal/replicas/{id}/meta", s.handleReplicaPutMeta)
+	s.mux.HandleFunc("GET /v1/internal/replicas/{id}/meta", s.handleReplicaGetMeta)
+	s.mux.HandleFunc("DELETE /v1/internal/replicas/{id}", s.handleReplicaDelete)
 
 	s.wg.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
@@ -174,6 +204,35 @@ func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// Ready reports whether the node accepts new work: neither shutting
+// down nor admin-drained. Liveness (/healthz) stays true in both
+// drain states; readiness is what routing layers consult.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && !s.notReady
+}
+
+// BeginDrain flips the node to not-ready and pushes every non-terminal
+// job to a checkpointed stop: queued jobs are cancelled outright,
+// running engines are context-cancelled and flush their best-so-far
+// checkpoints into the store (still downloadable afterwards — the
+// process keeps serving). Idempotent; returns how many jobs were asked
+// to stop by this call.
+func (s *Server) BeginDrain() int {
+	s.mu.Lock()
+	s.notReady = true
+	s.mu.Unlock()
+	queued, running := s.store.cancelAllActive()
+	for i := 0; i < queued; i++ {
+		s.metrics.jobCancelledQueued()
+	}
+	if queued+running > 0 {
+		s.logf("deltaserve: admin drain: %d queued job(s) cancelled, %d running job(s) stopping", queued, running)
+	}
+	return queued + running
 }
 
 // Shutdown drains the service: new submissions are rejected with 503,
@@ -247,13 +306,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.store.sweep()
 
 	id := s.store.create(spec)
+	if !s.enqueue(w, id) {
+		return
+	}
 
+	view, _ := s.store.view(id)
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Job: view})
+}
+
+// enqueue places a freshly registered job on the worker queue. When
+// the node refuses — draining/not-ready (503) or queue full (429) —
+// it rolls the registration back, writes the refusal, and reports
+// false; the caller renders the success response otherwise.
+func (s *Server) enqueue(w http.ResponseWriter, id string) bool {
 	s.mu.Lock()
-	if s.draining {
+	if s.draining || s.notReady {
 		s.mu.Unlock()
 		s.store.drop(id)
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is shutting down")
-		return
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return false
 	}
 	select {
 	case s.queue <- id:
@@ -265,13 +337,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
 			"queue is full (%d jobs waiting); retry later", s.opts.QueueCap)
-		return
+		return false
 	}
 	s.metrics.jobSubmitted()
-
-	view, _ := s.store.view(id)
-	w.Header().Set("Location", "/v1/jobs/"+id)
-	writeJSON(w, http.StatusAccepted, SubmitResponse{Job: view})
+	return true
 }
 
 // retryAfterSeconds renders a duration as the whole-second value the
@@ -343,7 +412,34 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"draining": s.Draining(),
+		"draining": !s.Ready(),
+	})
+}
+
+// handleReadyz is the routing signal: 200 while the node accepts new
+// jobs, 503 with a JSON body once draining (admin drain or shutdown).
+// Load balancers and the coordinator stop routing on the 503; liveness
+// (/healthz) stays 200 so the process is not killed mid-migration.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status":   "draining",
+		"draining": true,
+	})
+}
+
+// handleDrain is POST /v1/admin/drain: flip readiness off and push
+// every active job to a checkpointed stop so the coordinator can
+// migrate it to a live backend. Idempotent — a second drain reports
+// zero newly stopped jobs.
+func (s *Server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	stopped := s.BeginDrain()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"draining": true,
+		"stopped":  stopped,
 	})
 }
 

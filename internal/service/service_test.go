@@ -536,10 +536,14 @@ func TestShutdownExpiredBudgetCancelsRunningJobs(t *testing.T) {
 // attempt's checkpoint lands in the checkpoint directory, readable by
 // floc.ReadCheckpointFile. The cancel is issued only after the status
 // endpoint shows a completed iteration — a passed boundary guarantees
-// a checkpoint regardless of machine speed.
+// a checkpoint regardless of machine speed. CheckpointEvery keeps the
+// latest boundary in the store even when the cancel lands in the
+// window between engine convergence and the supervisor returning (the
+// one timing where no PartialResult — and so no interrupted-attempt
+// checkpoint — exists).
 func TestInterruptedFLOCJobFlushesCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	e := newTestEnv(t, Options{Workers: 1, QueueCap: 4, CheckpointDir: dir})
+	e := newTestEnv(t, Options{Workers: 1, QueueCap: 4, CheckpointDir: dir, CheckpointEvery: 1})
 
 	ds, err := synth.Generate(synth.Config{
 		Rows: 3000, Cols: 100, NumClusters: 30,

@@ -110,6 +110,26 @@ func (st *store) create(spec *runSpec) string {
 	return id
 }
 
+// createWithID registers a queued job under a caller-chosen ID — the
+// coordinator dispatch path, where IDs are minted (and consistent-
+// hashed to an owner) upstream. It reports false when the ID is
+// already taken, which is what keeps a retried dispatch idempotent:
+// the second attempt observes the first instead of double-running.
+func (st *store) createWithID(id string, spec *runSpec) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, taken := st.jobs[id]; taken {
+		return false
+	}
+	st.jobs[id] = &job{
+		id:      id,
+		spec:    spec,
+		state:   StateQueued,
+		created: st.now(),
+	}
+	return true
+}
+
 // drop removes a job outright (submission rollback when the queue
 // rejects it).
 func (st *store) drop(id string) {
@@ -202,27 +222,72 @@ func (st *store) setProgress(id string, p ProgressView) {
 	}
 }
 
-// setCheckpoint records the latest resumable checkpoint an
-// interrupted FLOC attempt produced.
+// setCheckpoint records the job's latest resumable checkpoint —
+// periodic boundary checkpoints while the run is live (CheckpointEvery)
+// and the final boundary state of an interrupted attempt. It ignores a
+// checkpoint older than the stored one, so a stale write racing a
+// fresher boundary can never regress the replication stream.
 func (st *store) setCheckpoint(id string, ck *floc.Checkpoint) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if j := st.jobs[id]; j != nil {
-		j.checkpoint = ck
+	j := st.jobs[id]
+	if j == nil {
+		return
 	}
+	if j.checkpoint != nil && ck.Iterations < j.checkpoint.Iterations {
+		return
+	}
+	j.checkpoint = ck
 }
 
-// takeCheckpoint returns and clears the job's pending checkpoint.
-func (st *store) takeCheckpoint(id string) *floc.Checkpoint {
+// latestCheckpoint returns the job's most recent resumable checkpoint,
+// nil when none exists (job gone, non-FLOC, or stopped before the
+// first improving iteration). Checkpoints are immutable once exported,
+// so the caller may encode the result outside the store lock.
+func (st *store) latestCheckpoint(id string) *floc.Checkpoint {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	j := st.jobs[id]
 	if j == nil {
 		return nil
 	}
-	ck := j.checkpoint
-	j.checkpoint = nil
-	return ck
+	return j.checkpoint
+}
+
+// cancelAllActive requests cancellation of every non-terminal job:
+// queued jobs become cancelled immediately, running jobs have their
+// engine contexts cancelled and settle when the engine returns. This
+// is the admin-drain path — the node stays up and keeps serving
+// reads, but every job is pushed to a checkpointed stop so the
+// coordinator can migrate it. It returns how many jobs were cancelled
+// straight out of the queue and how many running engines were asked to
+// stop (the split the metrics counters need).
+func (st *store) cancelAllActive() (queued, running int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ids := make([]string, 0, len(st.jobs))
+	for id := range st.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := st.jobs[id]
+		switch j.state {
+		case StateQueued:
+			j.cancelRequested = true
+			j.state = StateCancelled
+			j.finished = st.now()
+			j.errMsg = "cancelled by drain before start"
+			queued++
+		case StateRunning:
+			j.cancelRequested = true
+			if j.cancel != nil {
+				j.cancel()
+			}
+			running++
+		}
+	}
+	return queued, running
 }
 
 // cancelRequested reports whether the job was asked to stop.

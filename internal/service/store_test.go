@@ -3,6 +3,8 @@ package service
 import (
 	"testing"
 	"time"
+
+	"deltacluster/internal/floc"
 )
 
 func testSpec() *runSpec { return &runSpec{algorithm: AlgoFLOC} }
@@ -141,12 +143,24 @@ func TestStoreCheckpointHandoff(t *testing.T) {
 	st := newJobStore(1, time.Minute, func() time.Time { return time.Unix(0, 0) })
 	id := st.create(testSpec())
 
-	if ck := st.takeCheckpoint(id); ck != nil {
+	if ck := st.latestCheckpoint(id); ck != nil {
 		t.Fatal("fresh job has a checkpoint")
 	}
-	st.setCheckpoint(id, nil)
-	// takeCheckpoint clears: two interrupted attempts, the later one
-	// wins, and a take drains it.
+	// Checkpoints are monotonic by boundary iteration: a stale write
+	// (a slow attempt racing a fresher boundary) never regresses the
+	// replication stream, and reads do not drain the stored state.
+	st.setCheckpoint(id, &floc.Checkpoint{Iterations: 4})
+	st.setCheckpoint(id, &floc.Checkpoint{Iterations: 2})
+	if ck := st.latestCheckpoint(id); ck == nil || ck.Iterations != 4 {
+		t.Fatalf("stale checkpoint overwrote a fresher one: %+v", ck)
+	}
+	st.setCheckpoint(id, &floc.Checkpoint{Iterations: 5})
+	if ck := st.latestCheckpoint(id); ck == nil || ck.Iterations != 5 {
+		t.Fatalf("fresher checkpoint not stored: %+v", ck)
+	}
+	if ck := st.latestCheckpoint(id); ck == nil {
+		t.Fatal("latestCheckpoint drained the stored checkpoint")
+	}
 	st.start(id, func() {})
 	st.setProgress(id, ProgressView{Attempt: 1, Iteration: 3, AvgResidue: 2.5})
 	v, _ := st.view(id)
