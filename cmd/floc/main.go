@@ -24,6 +24,19 @@
 // bit. -fingerprint prints a deterministic run fingerprint instead of
 // the human-readable report, so CI can diff a resumed run against a
 // full one.
+//
+// # Warm-start reclustering
+//
+// -warm-start seeds the run from another run's checkpoint instead of
+// cold seeding — the live-data path: recluster a matrix that gained
+// rows or changed entries since the parent run, paying only the
+// corrective iterations. The clustering flags (-k, -delta, -order,
+// -seeding, …) must match the parent run's; the seed is taken from
+// the checkpoint. When rows were appended since, -warm-rows says how
+// many rows the matrix had when the checkpoint was written; new rows
+// enter by best-residue placement before the first iteration. On an
+// unchanged matrix a warm-started run reproduces the parent bit for
+// bit.
 package main
 
 import (
@@ -61,6 +74,8 @@ func main() {
 		checkpoint  = flag.String("checkpoint", "", "write resumable checkpoints to this file")
 		ckEvery     = flag.Int("checkpoint-every", 1, "checkpoint every N improving iterations (with -checkpoint)")
 		resume      = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+		warmStart   = flag.String("warm-start", "", "warm-start from a parent run's checkpoint file; the matrix may have grown or changed since")
+		warmRows    = flag.Int("warm-rows", 0, "rows the matrix had when the -warm-start checkpoint was written (0 = all current rows)")
 		fingerprint = flag.Bool("fingerprint", false, "print a deterministic run fingerprint instead of the report")
 	)
 	flag.Parse()
@@ -145,6 +160,12 @@ func main() {
 	}
 
 	var runOpts deltacluster.FLOCRunOptions
+	if *resume != "" && *warmStart != "" {
+		usageError("-resume and -warm-start are mutually exclusive")
+	}
+	if *warmRows < 0 {
+		usageError("-warm-rows must not be negative (got %d)", *warmRows)
+	}
 	if *resume != "" {
 		ck, err := deltacluster.ReadCheckpointFile(*resume)
 		if err != nil {
@@ -152,6 +173,18 @@ func main() {
 		}
 		runOpts.Resume = ck
 		fmt.Fprintf(os.Stderr, "floc: resuming from %s at iteration %d\n", *resume, ck.Iterations)
+	}
+	if *warmStart != "" {
+		ck, err := deltacluster.ReadCheckpointFile(*warmStart)
+		if err != nil {
+			fatal(err)
+		}
+		// A warm run continues the parent's seeded trajectory; the other
+		// clustering flags must match the parent's or the engine rejects
+		// the checkpoint as foreign.
+		cfg.Seed = ck.Seed
+		runOpts.WarmStart = &deltacluster.FLOCWarmStart{Checkpoint: ck, ParentRows: *warmRows}
+		fmt.Fprintf(os.Stderr, "floc: warm-starting from %s at iteration %d\n", *warmStart, ck.Iterations)
 	}
 	if *checkpoint != "" {
 		runOpts.CheckpointEvery = *ckEvery

@@ -213,8 +213,16 @@ const (
 // run bit for bit.
 type FLOCCheckpoint = floc.Checkpoint
 
-// FLOCRunOptions controls checkpointing and resumption of a FLOC run.
+// FLOCRunOptions controls checkpointing, resumption and warm-starting
+// of a FLOC run.
 type FLOCRunOptions = floc.RunOptions
+
+// FLOCWarmStart seeds a run from a parent run's final checkpoint
+// instead of cold seeding — the deltastream reclustering path. With
+// an unchanged matrix the warm run reproduces the parent bit for bit;
+// after appends, updates or retractions it re-anchors the parent's
+// clustering and pays only the corrective iterations.
+type FLOCWarmStart = floc.WarmStart
 
 // FLOCContext runs FLOC under a context: cancellation or deadline
 // expiry stops the run within one iteration, returning a

@@ -6,10 +6,13 @@
 // replicated checkpoint so nothing past a boundary is ever recomputed
 // and the final clustering is bit-identical to an uninterrupted run.
 //
-//	POST   /v1/jobs              route + dispatch    → 202 (+warning when degraded)
-//	GET    /v1/jobs/{id}         proxied status      → 200
-//	GET    /v1/jobs/{id}/result  proxied result      → 200
-//	DELETE /v1/jobs/{id}         proxied cancel      → 202 (or 200)
+//	POST   /v1/jobs                  route + dispatch    → 202 (+warning when degraded)
+//	GET    /v1/jobs/{id}             proxied status      → 200
+//	GET    /v1/jobs/{id}/result      proxied result      → 200
+//	PATCH  /v1/jobs/{id}/matrix      proxied deltastream patch, recorded for rebuilds → 200
+//	POST   /v1/jobs/{id}:recluster   warm-start child on the parent's owner, or rebuilt
+//	                                 from a replica checkpoint when the owner is gone → 202
+//	DELETE /v1/jobs/{id}             proxied cancel      → 202 (or 200)
 //	GET    /healthz              coordinator liveness
 //	GET    /readyz               ready while ≥1 backend is up
 //	GET    /metrics              routing/replication/migration counters
@@ -185,6 +188,22 @@ type job struct {
 
 	lastView service.JobView // latest owner-reported view, ID rewritten
 	degraded bool            // accepted below replication target
+
+	// Streaming lineage. lineageRoot is the public ID of the lineage's
+	// root job (itself, for roots); patches is the full recorded
+	// deltastream history of the lineage, in order, so the patched
+	// matrix can be rebuilt bit for bit on any backend from the root
+	// submission alone. A PATCH through the coordinator appends to
+	// every member of the lineage, so each entry is self-contained for
+	// failover. parentID and warm mark warm-start recluster children:
+	// they migrate with their patches and, lacking an own checkpoint,
+	// their parent's replicated one.
+	lineageRoot   string
+	parentID      string
+	warm          bool
+	patches       []service.MatrixPatchRequest
+	matrixVersion int
+	finalCkPulled bool // the done-boundary checkpoint reached the replicas
 }
 
 // dispatchID is the backend-side job ID for the given migration epoch:
@@ -259,6 +278,8 @@ func New(opts Options) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
 	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	c.mux.HandleFunc("PATCH /v1/jobs/{id}/matrix", c.handlePatchMatrix)
+	c.mux.HandleFunc("POST /v1/jobs/{target}", c.handleJobAction)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
@@ -326,6 +347,22 @@ func (c *Coordinator) mintID() string {
 	}
 }
 
+// routingFull reports whether the routing table is at capacity, after
+// giving expired terminal entries one chance to age out.
+func (c *Coordinator) routingFull() bool {
+	c.mu.Lock()
+	full := len(c.jobs) >= c.opts.MaxJobs
+	c.mu.Unlock()
+	if !full {
+		return false
+	}
+	c.evictExpired()
+	c.mu.Lock()
+	full = len(c.jobs) >= c.opts.MaxJobs
+	c.mu.Unlock()
+	return full
+}
+
 // placement returns the ready owner and ready replica peers for a job
 // ID per the ring's preference order, plus the replica shortfall
 // against the configured target.
@@ -372,16 +409,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	c.mu.Lock()
-	full := len(c.jobs) >= c.opts.MaxJobs
-	c.mu.Unlock()
-	if full {
-		c.evictExpired()
-		c.mu.Lock()
-		full = len(c.jobs) >= c.opts.MaxJobs
-		c.mu.Unlock()
-	}
-	if full {
+	if c.routingFull() {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, service.CodeQueueFull,
 			"coordinator routing table is full (%d jobs); retry later", c.opts.MaxJobs)
@@ -462,15 +490,16 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	view := dr.Job
 	view.ID = id
 	j := &job{
-		id:        id,
-		submit:    req,
-		algorithm: algo,
-		attempts:  attempts,
-		owner:     dispatchedTo,
-		replicas:  replicasWithout(peers, dispatchedTo),
-		ckIters:   -1,
-		lastView:  view,
-		degraded:  missing > 0,
+		id:          id,
+		submit:      req,
+		algorithm:   algo,
+		attempts:    attempts,
+		owner:       dispatchedTo,
+		replicas:    replicasWithout(peers, dispatchedTo),
+		ckIters:     -1,
+		lastView:    view,
+		degraded:    missing > 0,
+		lineageRoot: id,
 	}
 	c.mu.Lock()
 	c.jobs[id] = j
@@ -521,6 +550,7 @@ type jobRef struct {
 	epoch           int
 	terminal        bool
 	clientCancelled bool
+	parentID        string
 	lastView        service.JobView
 }
 
@@ -532,7 +562,7 @@ func (c *Coordinator) ref(id string) (jobRef, bool) {
 		return jobRef{}, false
 	}
 	return jobRef{id: j.id, owner: j.owner, epoch: j.epoch, terminal: j.terminal,
-		clientCancelled: j.clientCancelled, lastView: j.lastView}, true
+		clientCancelled: j.clientCancelled, parentID: j.parentID, lastView: j.lastView}, true
 }
 
 // handleGet proxies job status from the current owner, rewriting the
@@ -561,6 +591,12 @@ func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v.ID = id
+	if ref.parentID != "" {
+		// The backend reports its own dispatch-side parent ID — or none
+		// at all for a child rebuilt from scratch on failover; either
+		// way the public lineage is the coordinator's to tell.
+		v.ParentID = ref.parentID
+	}
 	if v.State == service.StateCancelled && !ref.clientCancelled {
 		// The backend's run was interrupted (drain, interference) but
 		// the client never asked for a cancel: the job is migrating,

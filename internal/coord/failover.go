@@ -51,6 +51,9 @@ func (c *Coordinator) migrate(ctx context.Context, id string) {
 	algorithm := j.algorithm
 	attempts := j.attempts
 	replicas := append([]string(nil), j.replicas...)
+	patches := append([]service.MatrixPatchRequest(nil), j.patches...)
+	warm := j.warm
+	parentID := j.parentID
 	oldOwnerDown := c.backends[oldOwner] != nil && c.backends[oldOwner].state == stateDown
 	c.mu.Unlock()
 
@@ -72,10 +75,25 @@ func (c *Coordinator) migrate(ctx context.Context, id string) {
 		resume, resumeIters = c.bestCheckpoint(ctx, sources)
 	}
 
+	// A warm-start child with no own boundary yet re-seeds from its
+	// parent's replicated checkpoint instead of restarting cold; the
+	// recorded patches rebuild the lineage matrix either way. A resumed
+	// child needs no warm seed — its own checkpoint, cut on the patched
+	// matrix, is strictly further along.
+	var warmCk []byte
+	if resume == nil && warm && parentID != "" {
+		warmCk, _ = c.bestCheckpoint(ctx, c.parentCheckpointSources(parentID))
+		if warmCk == nil {
+			c.logf("coord: job %s migrates cold: parent %s checkpoint unavailable", id, parentID)
+		}
+	}
+
 	body, err := json.Marshal(service.DispatchRequest{
-		ID:               dispatchID(id, epoch+1),
-		ResumeCheckpoint: resume,
-		Submit:           submit,
+		ID:                  dispatchID(id, epoch+1),
+		ResumeCheckpoint:    resume,
+		WarmStartCheckpoint: warmCk,
+		Patches:             patches,
+		Submit:              submit,
 	})
 	if err != nil {
 		c.metrics.migrationFailed()

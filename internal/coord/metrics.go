@@ -15,6 +15,9 @@ type metrics struct {
 	checkpointPulls    uint64 // non-304 checkpoint downloads
 	replicaPuts        uint64 // successful replica PUTs (meta + ckpt)
 	replicaPutFails    uint64
+	matrixPatches      uint64 // deltastream patches landed through the proxy
+	reclusters         uint64 // warm-start children routed
+	reclusterFallbacks uint64 // children rebuilt from a replica checkpoint
 }
 
 func (m *metrics) jobRouted()         { atomic.AddUint64(&m.routed, 1) }
@@ -27,10 +30,14 @@ func (m *metrics) migrationDeferred() { atomic.AddUint64(&m.migrationsDeferred, 
 func (m *metrics) checkpointPulled()  { atomic.AddUint64(&m.checkpointPulls, 1) }
 func (m *metrics) replicaPut()        { atomic.AddUint64(&m.replicaPuts, 1) }
 func (m *metrics) replicaPutFailed()  { atomic.AddUint64(&m.replicaPutFails, 1) }
+func (m *metrics) matrixPatched()     { atomic.AddUint64(&m.matrixPatches, 1) }
+func (m *metrics) reclusterRouted()   { atomic.AddUint64(&m.reclusters, 1) }
+func (m *metrics) reclusterFellBack() { atomic.AddUint64(&m.reclusterFallbacks, 1) }
 
 // MetricsView is the JSON body of the coordinator's GET /metrics.
 type MetricsView struct {
 	Jobs        JobsMetrics        `json:"jobs"`
+	Streaming   StreamingMetrics   `json:"streaming"`
 	Replication ReplicationMetrics `json:"replication"`
 	Backends    BackendsMetrics    `json:"backends"`
 }
@@ -43,6 +50,12 @@ type JobsMetrics struct {
 	Migrations         uint64 `json:"migrations"`
 	MigrationFailures  uint64 `json:"migration_failures"`
 	MigrationsDeferred uint64 `json:"migrations_deferred"`
+}
+
+type StreamingMetrics struct {
+	MatrixPatches      uint64 `json:"matrix_patches"`
+	Reclusters         uint64 `json:"reclusters"`
+	ReclusterFallbacks uint64 `json:"recluster_fallbacks"`
 }
 
 type ReplicationMetrics struct {
@@ -67,6 +80,11 @@ func (m *metrics) snapshot(tracked, active int, states map[string]string) Metric
 			Migrations:         atomic.LoadUint64(&m.migrations),
 			MigrationFailures:  atomic.LoadUint64(&m.migrationFailures),
 			MigrationsDeferred: atomic.LoadUint64(&m.migrationsDeferred),
+		},
+		Streaming: StreamingMetrics{
+			MatrixPatches:      atomic.LoadUint64(&m.matrixPatches),
+			Reclusters:         atomic.LoadUint64(&m.reclusters),
+			ReclusterFallbacks: atomic.LoadUint64(&m.reclusterFallbacks),
 		},
 		Replication: ReplicationMetrics{
 			CheckpointPulls: atomic.LoadUint64(&m.checkpointPulls),

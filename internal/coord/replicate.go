@@ -53,6 +53,7 @@ type syncRef struct {
 	ckEtag          string
 	clientCancelled bool
 	ownerUp         bool
+	finalPull       bool // terminal done job owing its last boundary to the replicas
 }
 
 func (c *Coordinator) syncOnce(ctx context.Context) {
@@ -61,10 +62,27 @@ func (c *Coordinator) syncOnce(ctx context.Context) {
 	c.mu.Lock()
 	refs := make([]syncRef, 0, len(c.jobs))
 	for id, j := range c.jobs {
+		b := c.backends[j.owner]
+		ownerUp := b != nil && b.state == stateUp
 		if j.terminal {
+			// A done FLOC job's final boundary is the warm-start seed for
+			// its reclusters; keep pulling until it reaches the replicas,
+			// however the terminal transition was observed.
+			if ownerUp && !j.finalCkPulled &&
+				j.algorithm == service.AlgoFLOC && j.lastView.State == service.StateDone {
+				refs = append(refs, syncRef{
+					id:        id,
+					owner:     j.owner,
+					epoch:     j.epoch,
+					algorithm: j.algorithm,
+					replicas:  append([]string(nil), j.replicas...),
+					ckEtag:    j.ckEtag,
+					ownerUp:   true,
+					finalPull: true,
+				})
+			}
 			continue
 		}
-		b := c.backends[j.owner]
 		refs = append(refs, syncRef{
 			id:              id,
 			owner:           j.owner,
@@ -73,7 +91,7 @@ func (c *Coordinator) syncOnce(ctx context.Context) {
 			replicas:        append([]string(nil), j.replicas...),
 			ckEtag:          j.ckEtag,
 			clientCancelled: j.clientCancelled,
-			ownerUp:         b != nil && b.state == stateUp,
+			ownerUp:         ownerUp,
 		})
 	}
 	c.mu.Unlock()
@@ -81,6 +99,12 @@ func (c *Coordinator) syncOnce(ctx context.Context) {
 	for _, ref := range refs {
 		if ctx.Err() != nil {
 			return
+		}
+		if ref.finalPull {
+			if c.pullAndPush(ctx, ref) {
+				c.markFinalPulled(ref.id)
+			}
+			continue
 		}
 		if !ref.ownerUp {
 			c.migrate(ctx, ref.id)
@@ -123,12 +147,42 @@ func (c *Coordinator) syncJob(ctx context.Context, ref syncRef) {
 		}
 	}
 
-	if ref.algorithm == service.AlgoFLOC && v.State == service.StateRunning {
-		c.pullAndPush(ctx, ref)
+	if ref.algorithm == service.AlgoFLOC {
+		switch v.State {
+		case service.StateRunning:
+			c.pullAndPush(ctx, ref)
+		case service.StateDone:
+			// The run just finished: one more pull lands the final
+			// boundary — the recluster warm seed — on the replicas.
+			if c.pullAndPush(ctx, ref) {
+				c.markFinalPulled(ref.id)
+			}
+		}
 	}
 
-	if c.isTerminal(ref.id) {
+	if c.isTerminal(ref.id) && !c.keepsReplicas(ref.id) {
 		c.cleanupReplicas(ctx, ref.id, ref.replicas)
+	}
+}
+
+// keepsReplicas reports whether a terminal job's replicas stay: done
+// FLOC jobs keep theirs as the recluster-failover warm seed (they age
+// out via the backends' own replica bound); failed and cancelled
+// jobs, with nothing to recluster from, are cleaned up.
+func (c *Coordinator) keepsReplicas(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return ok && j.algorithm == service.AlgoFLOC && j.lastView.State == service.StateDone
+}
+
+// markFinalPulled records that a done job's final boundary reached the
+// replica set.
+func (c *Coordinator) markFinalPulled(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[id]; ok {
+		j.finalCkPulled = true
 	}
 }
 
@@ -164,12 +218,13 @@ func (c *Coordinator) isTerminal(id string) bool {
 // (ETag-conditional) and pushes it to every replica peer. Push
 // failures are counted, never retried beyond the client's bounded
 // policy — the next boundary brings a fresh, strictly better replica
-// anyway.
-func (c *Coordinator) pullAndPush(ctx context.Context, ref syncRef) {
+// anyway. Reports whether the pull itself landed (fresh bytes or a
+// 304 confirming the replicas already hold the head).
+func (c *Coordinator) pullAndPush(ctx context.Context, ref syncRef) bool {
 	url := ref.owner + "/v1/internal/jobs/" + dispatchID(ref.id, ref.epoch) + "/checkpoint"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return
+		return false
 	}
 	if ref.ckEtag != "" {
 		req.Header.Set("If-None-Match", ref.ckEtag)
@@ -177,11 +232,14 @@ func (c *Coordinator) pullAndPush(ctx context.Context, ref syncRef) {
 	raw, err := c.client.http.Do(req)
 	if err != nil {
 		c.noteCallFailure(ref.owner)
-		return
+		return false
 	}
 	resp := drain(raw)
-	if resp.status == http.StatusNotModified || resp.status != http.StatusOK {
-		return
+	if resp.status == http.StatusNotModified {
+		return true
+	}
+	if resp.status != http.StatusOK {
+		return false
 	}
 	c.metrics.checkpointPulled()
 	iters, _ := strconv.Atoi(resp.header.Get(checkpointIterationsHeader))
@@ -208,6 +266,7 @@ func (c *Coordinator) pullAndPush(ctx context.Context, ref syncRef) {
 		}
 	}
 	c.mu.Unlock()
+	return true
 }
 
 // cleanupReplicas best-effort deletes a terminal job's peer replicas.

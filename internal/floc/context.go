@@ -94,6 +94,23 @@ type RunOptions struct {
 	// then bit-identical to the uninterrupted one.
 	Resume *Checkpoint
 
+	// WarmStart, when non-nil, seeds the run from a parent run's final
+	// checkpoint instead of phase-1 seeding — the deltastream
+	// re-convergence path. Unlike Resume, the matrix MAY have mutated
+	// since the checkpoint was cut (that is the point); when it has
+	// not, the warm start degenerates to the resume path and is
+	// bit-identical to the cold run. Mutually exclusive with Resume.
+	WarmStart *WarmStart
+
+	// KeepFinalCheckpoint preserves the last improving iteration
+	// boundary in Result.FinalCheckpoint, so the caller holds the
+	// parent handle a later warm-started recluster needs. The capture
+	// happens at each boundary (overwriting the previous), never after
+	// the final non-improving iteration — the checkpoint's RNG
+	// position must be the boundary position for a warm resume to
+	// replay the run's tail bit-identically.
+	KeepFinalCheckpoint bool
+
 	// CheckpointEvery cuts a checkpoint after every n-th improving
 	// iteration and hands it to OnCheckpoint. 0 disables periodic
 	// checkpoints; negative is an error.
@@ -147,13 +164,19 @@ func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunO
 	}
 	start := time.Now()
 
+	if opts.Resume != nil && opts.WarmStart != nil {
+		return nil, fmt.Errorf("floc: Resume and WarmStart are mutually exclusive")
+	}
+
 	var (
 		e          *engine
 		iterations int
 		trace      []float64
-		atBoundary bool // a completed iteration boundary exists to checkpoint
+		atBoundary bool        // a completed iteration boundary exists to checkpoint
+		finalCk    *Checkpoint // last boundary, kept under KeepFinalCheckpoint
 	)
-	if opts.Resume != nil {
+	switch {
+	case opts.Resume != nil:
 		var err error
 		e, err = resumeEngine(m, &cfg, opts.Resume)
 		if err != nil {
@@ -162,7 +185,34 @@ func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunO
 		iterations = opts.Resume.Iterations
 		trace = append([]float64(nil), opts.Resume.Trace...)
 		atBoundary = true
-	} else {
+		finalCk = opts.Resume
+	case opts.WarmStart != nil:
+		ws := opts.WarmStart
+		if ws.Checkpoint == nil {
+			return nil, fmt.Errorf("floc: WarmStart without a checkpoint")
+		}
+		if matrixSum(m) == ws.Checkpoint.MatrixSum {
+			// Empty delta: the warm start is exactly a resume, which
+			// makes the whole run bit-identical to the uninterrupted
+			// cold run — the deltastream equivalence guarantee.
+			var err error
+			e, err = resumeEngine(m, &cfg, ws.Checkpoint)
+			if err != nil {
+				return nil, err
+			}
+			iterations = ws.Checkpoint.Iterations
+			trace = append([]float64(nil), ws.Checkpoint.Trace...)
+			atBoundary = true
+			finalCk = ws.Checkpoint
+		} else {
+			var err error
+			e, err = warmStartEngine(m, &cfg, ws)
+			if err != nil {
+				return nil, err
+			}
+			trace = []float64{e.avgResidue()}
+		}
+	default:
 		e = newEngine(m, &cfg)
 		trace = []float64{e.avgResidue()}
 	}
@@ -188,6 +238,9 @@ func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunO
 		trace = append(trace, e.avgResidue())
 		iterations++
 		atBoundary = true
+		if opts.KeepFinalCheckpoint {
+			finalCk = e.exportCheckpoint(iterations, trace)
+		}
 		progress()
 		if chaosEnabled {
 			if err := chaos("post-iteration"); err != nil {
@@ -202,7 +255,11 @@ func RunWithOptions(ctx context.Context, m *matrix.Matrix, cfg Config, opts RunO
 	}
 
 	e.finish()
-	return e.result(iterations, trace, start), nil
+	res := e.result(iterations, trace, start)
+	if opts.KeepFinalCheckpoint {
+		res.FinalCheckpoint = finalCk
+	}
+	return res, nil
 }
 
 // interrupted packages the engine's boundary state as the typed

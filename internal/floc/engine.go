@@ -40,6 +40,16 @@ type Result struct {
 	// Duration is the wall-clock time of the run, the paper's
 	// "response time".
 	Duration time.Duration
+
+	// FinalCheckpoint is the run's last improving iteration boundary,
+	// preserved only when RunOptions.KeepFinalCheckpoint is set. It is
+	// the parent handle a warm-started recluster seeds from after the
+	// matrix mutates (see WarmStart). Nil when no boundary exists (the
+	// run never improved) even under KeepFinalCheckpoint. Note the
+	// polish phase runs after this boundary, so the checkpoint does
+	// not describe Clusters verbatim; resuming it replays the final
+	// non-improving iteration and the polish bit-identically.
+	FinalCheckpoint *Checkpoint
 }
 
 // engine carries the mutable state of one FLOC run.

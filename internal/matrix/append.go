@@ -1,0 +1,164 @@
+// Streaming mutators: the matrix-level substrate of the deltastream
+// subsystem (internal/stream). A live deployment mutates its data
+// matrix continuously — new objects arrive (AppendRows), ratings are
+// revised (UpdateCells), readings are retracted (MarkMissing) — and
+// every such mutation must keep the derived read caches (column-major
+// mirror, missing-value bitsets) exactly coherent without paying a
+// wholesale rebuild, because the caches are what the residue kernels
+// scan on every evaluation.
+//
+// The invalidation discipline, per mutator:
+//
+//   - UpdateCells / MarkMissing touch exactly the mutated entries'
+//     mirror slots and bitset words (via syncDerived) — O(1) per cell,
+//     no rebuild, no rescan.
+//   - AppendRows changes the row count, which changes the mirror's
+//     column stride and the column bitset's word span, so those arrays
+//     must be re-laid-out — but re-layout is not a rebuild: existing
+//     entries move by column-sized memcpy with no per-entry IsNaN
+//     re-scan; only the appended entries are classified.
+//
+// All three require the writer's exclusive access, the same contract
+// as every other mutator in this package.
+
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell is one (row, col) → value update. Storing NaN marks the entry
+// missing, exactly like Set.
+type Cell struct {
+	Row, Col int
+	Value    float64
+}
+
+// CellRef addresses one entry.
+type CellRef struct {
+	Row, Col int
+}
+
+// AppendRows grows the matrix by len(rows) new rows (each with exactly
+// Cols entries; NaN marks missing). Existing entries, views previously
+// returned by Row/Col (copies) and label slices are unaffected; views
+// returned by RowView/ColView before the append remain valid for the
+// old shape but must be re-fetched to observe the new rows. When the
+// matrix carries row labels, the new rows get empty labels.
+//
+// The derived caches are kept coherent by surgical re-layout, not a
+// rebuild: see appendDerivedRows.
+func (m *Matrix) AppendRows(rows [][]float64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if m.cols == 0 {
+		return fmt.Errorf("matrix: AppendRows on a 0-column matrix")
+	}
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return fmt.Errorf("matrix: appended row %d has %d entries, want %d", i, len(r), m.cols)
+		}
+	}
+	oldRows := m.rows
+	for _, r := range rows {
+		m.data = append(m.data, r...)
+	}
+	m.rows += len(rows)
+	if m.RowLabels != nil {
+		m.RowLabels = append(m.RowLabels, make([]string, len(rows))...)
+	}
+	m.appendDerivedRows(oldRows)
+	return nil
+}
+
+// appendDerivedRows re-lays-out the derived caches after rows were
+// appended to the backing array (deltavet:writer). Appending rows
+// changes the column-major mirror's stride (mirror[j*rows+i]) and the
+// column bitset's words-per-column, so neither can be patched in
+// place — but the old contents need no re-derivation: every existing
+// column block moves with one copy, the row bitset is extended
+// verbatim, and only the appended entries pay an IsNaN classification.
+// That keeps the cost O(rows·cols) worth of memcpy plus O(new·cols)
+// classification, with zero re-scanning of existing data.
+//
+// deltavet:hotpath — this is the streaming ingest invalidation path;
+// a wholesale buildDerived here would rescan the full matrix per
+// delta and dominate small-batch ingestion.
+func (m *Matrix) appendDerivedRows(oldRows int) {
+	if m.der.Load() == nil {
+		return // nothing built yet; first read builds for the new shape
+	}
+	m.derMu.Lock()
+	defer m.derMu.Unlock()
+	old := m.der.Load()
+	if old == nil {
+		return
+	}
+	d := &derived{
+		rowW: old.rowW,
+		colW: (m.rows + 63) / 64,
+	}
+	//deltavet:ignore hotalloc reason=shape growth is one allocation per append batch, amortized across the delta; the per-cell work below is allocation-free
+	d.mirror = make([]float64, m.rows*m.cols)
+	//deltavet:ignore hotalloc reason=shape growth is one allocation per append batch, amortized across the delta
+	d.rowMask = make([]uint64, m.rows*d.rowW)
+	//deltavet:ignore hotalloc reason=shape growth is one allocation per append batch, amortized across the delta
+	d.colMask = make([]uint64, m.cols*d.colW)
+
+	// Existing state moves by block copy: each column's old mirror
+	// slice and old bitset words land at the head of its new span.
+	copy(d.rowMask, old.rowMask)
+	for j := 0; j < m.cols; j++ {
+		copy(d.mirror[j*m.rows:], old.mirror[j*oldRows:(j+1)*oldRows])
+		copy(d.colMask[j*d.colW:], old.colMask[j*old.colW:(j+1)*old.colW])
+	}
+
+	// Only the appended entries are classified.
+	for i := oldRows; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			d.mirror[j*m.rows+i] = v
+			if !math.IsNaN(v) {
+				d.rowMask[i*d.rowW+j>>6] |= 1 << uint(j&63)
+				d.colMask[j*d.colW+i>>6] |= 1 << uint(i&63)
+			}
+		}
+	}
+	m.der.Store(d)
+}
+
+// UpdateCells applies a batch of single-entry updates, keeping the
+// derived caches coherent per cell (no rebuild). A NaN value marks the
+// entry missing. The batch is validated before any entry is written,
+// so a bad reference mutates nothing.
+func (m *Matrix) UpdateCells(cells []Cell) error {
+	for n, c := range cells {
+		if c.Row < 0 || c.Row >= m.rows || c.Col < 0 || c.Col >= m.cols {
+			return fmt.Errorf("matrix: update %d references (%d, %d) out of %dx%d", n, c.Row, c.Col, m.rows, m.cols)
+		}
+	}
+	for _, c := range cells {
+		m.data[c.Row*m.cols+c.Col] = c.Value
+		m.syncDerived(c.Row, c.Col, c.Value)
+	}
+	return nil
+}
+
+// MarkMissing retracts a batch of entries (sets them missing), keeping
+// the derived caches coherent per cell. The batch is validated before
+// any entry is written.
+func (m *Matrix) MarkMissing(cells []CellRef) error {
+	for n, c := range cells {
+		if c.Row < 0 || c.Row >= m.rows || c.Col < 0 || c.Col >= m.cols {
+			return fmt.Errorf("matrix: retraction %d references (%d, %d) out of %dx%d", n, c.Row, c.Col, m.rows, m.cols)
+		}
+	}
+	nan := math.NaN()
+	for _, c := range cells {
+		m.data[c.Row*m.cols+c.Col] = nan
+		m.syncDerived(c.Row, c.Col, nan)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDerivedCoherenceUnderAllMutationPaths is the property test for
+// the derived-cache invalidation discipline: after ANY sequence of
+// mutations through ANY public mutation path — with the derived cache
+// live the whole time — every derived view (ColView, RowMask, ColMask)
+// must match what a from-scratch build over the same entries produces.
+// A stale mirror slot or bitset word anywhere fails with the exact
+// coordinate.
+func TestDerivedCoherenceUnderAllMutationPaths(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			rows := 5 + rng.Intn(8)
+			cols := 4 + rng.Intn(7)
+			m := New(rows, cols)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					if rng.Float64() < 0.15 {
+						m.SetMissing(i, j)
+					} else {
+						m.Set(i, j, rng.NormFloat64()*10)
+					}
+				}
+			}
+			// Force the derived cache to exist before mutating, so every
+			// mutation below exercises the live-cache maintenance path,
+			// not the lazy first-read build.
+			m.EnsureDerived()
+
+			for step := 0; step < 200; step++ {
+				mutate(t, rng, m)
+				if step%10 == 0 || step == 199 {
+					checkDerivedCoherent(t, m, step)
+					if t.Failed() {
+						t.Fatalf("stale derived cache after step %d", step)
+					}
+				}
+			}
+		})
+	}
+}
+
+// mutate applies one randomly chosen mutation through a randomly
+// chosen public path.
+func mutate(t *testing.T, rng *rand.Rand, m *Matrix) {
+	t.Helper()
+	randVal := func() float64 {
+		if rng.Float64() < 0.1 {
+			return math.NaN()
+		}
+		return rng.NormFloat64() * 10
+	}
+	switch rng.Intn(9) {
+	case 0: // Set
+		m.Set(rng.Intn(m.Rows()), rng.Intn(m.Cols()), randVal())
+	case 1: // SetMissing
+		m.SetMissing(rng.Intn(m.Rows()), rng.Intn(m.Cols()))
+	case 2: // MutRow (wholesale invalidation path)
+		row := m.MutRow(rng.Intn(m.Rows()))
+		for j := range row {
+			if rng.Float64() < 0.3 {
+				row[j] = randVal()
+			}
+		}
+	case 3: // ShiftRow
+		m.ShiftRow(rng.Intn(m.Rows()), rng.NormFloat64())
+	case 4: // ShiftCol
+		m.ShiftCol(rng.Intn(m.Cols()), rng.NormFloat64())
+	case 5: // ScaleRow
+		m.ScaleRow(rng.Intn(m.Rows()), 1+rng.Float64())
+	case 6: // AppendRows
+		n := 1 + rng.Intn(3)
+		newRows := make([][]float64, n)
+		for i := range newRows {
+			r := make([]float64, m.Cols())
+			for j := range r {
+				r[j] = randVal()
+			}
+			newRows[i] = r
+		}
+		if err := m.AppendRows(newRows); err != nil {
+			t.Fatalf("AppendRows: %v", err)
+		}
+	case 7: // UpdateCells
+		n := 1 + rng.Intn(4)
+		cells := make([]Cell, n)
+		for i := range cells {
+			cells[i] = Cell{Row: rng.Intn(m.Rows()), Col: rng.Intn(m.Cols()), Value: randVal()}
+		}
+		if err := m.UpdateCells(cells); err != nil {
+			t.Fatalf("UpdateCells: %v", err)
+		}
+	case 8: // MarkMissing
+		n := 1 + rng.Intn(4)
+		cells := make([]CellRef, n)
+		for i := range cells {
+			cells[i] = CellRef{Row: rng.Intn(m.Rows()), Col: rng.Intn(m.Cols())}
+		}
+		if err := m.MarkMissing(cells); err != nil {
+			t.Fatalf("MarkMissing: %v", err)
+		}
+	}
+}
+
+// checkDerivedCoherent compares every derived view of m against a
+// from-scratch build on a fresh matrix holding the same entries.
+func checkDerivedCoherent(t *testing.T, m *Matrix, step int) {
+	t.Helper()
+	fresh := New(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			fresh.Set(i, j, m.Get(i, j))
+		}
+	}
+	fresh.EnsureDerived()
+
+	for j := 0; j < m.Cols(); j++ {
+		got, want := m.ColView(j), fresh.ColView(j)
+		for i := range want {
+			same := got[i] == want[i] || (math.IsNaN(got[i]) && math.IsNaN(want[i]))
+			if !same {
+				t.Errorf("step %d: ColView(%d)[%d] = %v, fresh build has %v", step, j, i, got[i], want[i])
+				return
+			}
+		}
+		gotMask, wantMask := m.ColMask(j), fresh.ColMask(j)
+		for w := range wantMask {
+			if gotMask[w] != wantMask[w] {
+				t.Errorf("step %d: ColMask(%d) word %d = %#x, fresh build has %#x", step, j, w, gotMask[w], wantMask[w])
+				return
+			}
+		}
+	}
+	for i := 0; i < m.Rows(); i++ {
+		gotMask, wantMask := m.RowMask(i), fresh.RowMask(i)
+		for w := range wantMask {
+			if gotMask[w] != wantMask[w] {
+				t.Errorf("step %d: RowMask(%d) word %d = %#x, fresh build has %#x", step, i, w, gotMask[w], wantMask[w])
+				return
+			}
+		}
+	}
+}

@@ -118,6 +118,14 @@ type JobView struct {
 	// job to stop; a running job keeps state "running" until the
 	// engine actually returns.
 	CancelRequested bool `json:"cancel_requested,omitempty"`
+
+	// ParentID names the job this one was reclustered from; empty for
+	// a root submission.
+	ParentID string `json:"parent_id,omitempty"`
+
+	// MatrixVersion is the lineage mutation-log version the job's
+	// matrix reflects (0 = the matrix as originally submitted).
+	MatrixVersion int `json:"matrix_version,omitempty"`
 }
 
 // ProgressView is the live position of a running FLOC job.
@@ -144,6 +152,11 @@ type ResultView struct {
 	Attempts       int           `json:"attempts,omitempty"`
 	DurationMillis int64         `json:"duration_ms"`
 	Clusters       []ClusterView `json:"clusters,omitempty"`
+
+	// WarmStart reports the run re-converged from a parent job's final
+	// checkpoint instead of cold seeding; Iterations then counts only
+	// the corrective iterations after the delta.
+	WarmStart bool `json:"warm_start,omitempty"`
 
 	// Subspaces is set for clique jobs instead of Clusters.
 	Subspaces []SubspaceView `json:"subspaces,omitempty"`
@@ -189,6 +202,12 @@ const (
 	CodeInternal       = "internal"
 	CodeNoCheckpoint   = "no_checkpoint"
 	CodeBadCheckpoint  = "bad_checkpoint"
+
+	// CodeLineageBusy rejects a matrix PATCH or recluster that races a
+	// queued or running job on the same lineage: the shared matrix is
+	// (about to be) under an engine, so the request is refused with 409
+	// instead of silently mutating state under the run.
+	CodeLineageBusy = "lineage_busy"
 )
 
 // apiError carries an HTTP status and a machine-readable code through
@@ -223,6 +242,13 @@ type runSpec struct {
 	// migration path. Resumed jobs always run exactly one attempt with
 	// the checkpoint's seed.
 	resume *floc.Checkpoint
+
+	// warm, when non-nil, seeds a FLOC job from a parent run's final
+	// checkpoint — the deltastream recluster path. Warm jobs run
+	// exactly one attempt with the checkpoint's seed; when the matrix
+	// has not changed since the checkpoint, the run is bit-identical to
+	// the parent's cold run.
+	warm *floc.WarmStart
 }
 
 // buildSpec validates a SubmitRequest against the server's limits and

@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"deltacluster/internal/floc"
+	"deltacluster/internal/stream"
 )
 
 // DispatchRequest is the body of POST /v1/internal/jobs: a validated
@@ -32,6 +33,22 @@ type DispatchRequest struct {
 	// bit-identical to the interrupted one.
 	ResumeCheckpoint []byte `json:"resume_dckp,omitempty"`
 
+	// Patches are deltastream mutation batches replayed, in order, onto
+	// the submitted matrix before the job runs — the coordinator's
+	// lineage-reconstruction path: original submission + recorded
+	// patches rebuilds the patched matrix bit for bit on any backend.
+	// The backend seeds the job's lineage mutation log with them.
+	Patches []MatrixPatchRequest `json:"patches,omitempty"`
+
+	// WarmStartCheckpoint, when set, is the DCKP encoding of a parent
+	// run's boundary to warm-start from — the recluster failover path.
+	// The checkpoint must have been cut on the matrix as submitted
+	// (before Patches); the run then re-anchors its clustering on the
+	// patched matrix and pays only corrective iterations. Mutually
+	// exclusive with ResumeCheckpoint; FLOC only; single attempt under
+	// the checkpoint's seed.
+	WarmStartCheckpoint []byte `json:"warm_dckp,omitempty"`
+
 	// Submit is the original client submission, verbatim.
 	Submit SubmitRequest `json:"submit"`
 }
@@ -44,6 +61,14 @@ type DispatchResponse struct {
 	// resumed at (0 for a fresh start) — the coordinator's
 	// zero-recompute audit trail.
 	ResumedFromIteration int `json:"resumed_from_iteration,omitempty"`
+
+	// WarmFromIteration reports the parent boundary a warm-started
+	// dispatch re-anchored (0 for a cold start).
+	WarmFromIteration int `json:"warm_from_iteration,omitempty"`
+
+	// MatrixVersion is the job's lineage mutation-log version after
+	// replaying the dispatched patches.
+	MatrixVersion int `json:"matrix_version,omitempty"`
 }
 
 // handleDispatch is POST /v1/internal/jobs: coordinator-driven
@@ -75,6 +100,11 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr.status, aerr.code, "%s", aerr.message)
 		return
 	}
+	if len(req.ResumeCheckpoint) > 0 && len(req.WarmStartCheckpoint) > 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			"resume_dckp and warm_dckp are mutually exclusive")
+		return
+	}
 	resumedFrom := 0
 	if len(req.ResumeCheckpoint) > 0 {
 		if spec.algorithm != AlgoFLOC {
@@ -98,6 +128,46 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		resumedFrom = ck.Iterations
 	}
 
+	// Replay recorded lineage patches onto the freshly parsed matrix —
+	// deterministic, so the reconstructed matrix is bit-identical to
+	// the one the original backend held. ParentRows for a warm start is
+	// the pre-patch row count: the checkpoint was cut on the matrix as
+	// submitted.
+	var lineageLog *stream.Log
+	parentRows := spec.m.Rows()
+	if len(req.Patches) > 0 {
+		if spec.algorithm != AlgoFLOC {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				"patches are only valid for floc jobs, not %q", spec.algorithm)
+			return
+		}
+		lineageLog = stream.NewLog(spec.m.Rows(), spec.m.Cols())
+		for i := range req.Patches {
+			if _, err := lineageLog.Apply(spec.m, req.Patches[i].mutation()); err != nil {
+				writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+					"replaying patch %d: %v", i+1, err)
+				return
+			}
+		}
+	}
+	warmFrom := 0
+	if len(req.WarmStartCheckpoint) > 0 {
+		if spec.algorithm != AlgoFLOC {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				"warm_dckp is only valid for floc jobs, not %q", spec.algorithm)
+			return
+		}
+		ck, err := floc.DecodeCheckpoint(req.WarmStartCheckpoint)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadCheckpoint, "warm_dckp: %v", err)
+			return
+		}
+		spec.warm = &floc.WarmStart{Checkpoint: ck, ParentRows: parentRows}
+		spec.attempts = 1
+		spec.floc.Seed = ck.Seed
+		warmFrom = ck.Iterations
+	}
+
 	s.store.sweep()
 	if !s.store.createWithID(req.ID, spec) {
 		// Idempotent redelivery: the job already exists; report it.
@@ -110,12 +180,19 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, DispatchResponse{Job: view})
 		return
 	}
+	if lineageLog != nil {
+		s.store.adoptLineageLog(req.ID, lineageLog)
+	}
 	if !s.enqueue(w, req.ID) {
 		return
 	}
 	view, _ := s.store.view(req.ID)
 	w.Header().Set("Location", "/v1/jobs/"+req.ID)
-	writeJSON(w, http.StatusAccepted, DispatchResponse{Job: view, ResumedFromIteration: resumedFrom})
+	resp := DispatchResponse{Job: view, ResumedFromIteration: resumedFrom, WarmFromIteration: warmFrom}
+	if lineageLog != nil {
+		resp.MatrixVersion = lineageLog.Version()
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 // checkpointIterationsHeader carries the boundary iteration count of a

@@ -20,6 +20,13 @@ type metrics struct {
 	cancelled uint64
 	running   int64 // gauge
 
+	// deltastream counters: committed matrix PATCHes, accepted
+	// warm-start recluster children, and requests refused with 409
+	// lineage_busy (the race guard firing).
+	patched          uint64
+	reclustered      uint64
+	lineageConflicts uint64
+
 	latencyCounts [8]uint64 // len(latencyBucketsMillis) + 1 (+Inf)
 	latencySumNs  int64
 }
@@ -27,6 +34,10 @@ type metrics struct {
 func (m *metrics) jobSubmitted() { atomic.AddUint64(&m.submitted, 1) }
 func (m *metrics) jobRejected()  { atomic.AddUint64(&m.rejected, 1) }
 func (m *metrics) jobStarted()   { atomic.AddInt64(&m.running, 1) }
+
+func (m *metrics) matrixPatched()     { atomic.AddUint64(&m.patched, 1) }
+func (m *metrics) reclusterAccepted() { atomic.AddUint64(&m.reclustered, 1) }
+func (m *metrics) lineageConflict()   { atomic.AddUint64(&m.lineageConflicts, 1) }
 
 // jobCancelledQueued counts a job cancelled straight out of the queue
 // — it never ran, so the running gauge and latency histogram are
@@ -73,6 +84,10 @@ type JobMetrics struct {
 	Queued            int    `json:"queued"`
 	Running           int64  `json:"running"`
 	Stored            int    `json:"stored"`
+
+	MatrixPatches    uint64 `json:"matrix_patches"`
+	Reclustered      uint64 `json:"reclustered"`
+	LineageConflicts uint64 `json:"lineage_conflicts"`
 }
 
 // QueueMetrics reports backpressure state.
@@ -103,6 +118,9 @@ func (m *metrics) snapshot(byState map[JobState]int, stored, depth, capacity int
 			Queued:            byState[StateQueued],
 			Running:           atomic.LoadInt64(&m.running),
 			Stored:            stored,
+			MatrixPatches:     atomic.LoadUint64(&m.patched),
+			Reclustered:       atomic.LoadUint64(&m.reclustered),
+			LineageConflicts:  atomic.LoadUint64(&m.lineageConflicts),
 		},
 		Queue: QueueMetrics{Depth: depth, Capacity: capacity},
 	}

@@ -156,12 +156,17 @@ func (s *Server) runFLOC(ctx context.Context, id string, spec *runSpec) (*Result
 	if spec.resume != nil {
 		return s.resumeFLOC(ctx, id, spec)
 	}
+	if spec.warm != nil {
+		return s.warmFLOC(ctx, id, spec)
+	}
 	var attemptN int64
 	run := func(ctx context.Context, seed int64) (*floc.Result, error) {
 		n := int(atomic.AddInt64(&attemptN, 1))
 		cfg := spec.floc
 		cfg.Seed = seed
-		res, err := floc.RunWithOptions(ctx, spec.m, cfg, s.flocRunOptions(id, n))
+		opts := s.flocRunOptions(id, n)
+		opts.KeepFinalCheckpoint = true
+		res, err := floc.RunWithOptions(ctx, spec.m, cfg, opts)
 		if err != nil {
 			var pr *floc.PartialResult
 			if errors.As(err, &pr) && pr.Checkpoint != nil {
@@ -178,6 +183,7 @@ func (s *Server) runFLOC(ctx context.Context, id string, spec *runSpec) (*Result
 	if err != nil {
 		return nil, err
 	}
+	s.keepFinal(id, rep.Best.FinalCheckpoint)
 	view := &ResultView{
 		Algorithm:      AlgoFLOC,
 		AvgResidue:     rep.Best.AvgResidue,
@@ -223,6 +229,50 @@ func (s *Server) flocRunOptions(id string, attempt int) floc.RunOptions {
 	return opts
 }
 
+// warmFLOC runs a recluster child: exactly one attempt, warm-started
+// from the parent's final checkpoint on the lineage's (possibly
+// mutated) matrix. The spec's seed was pinned to the checkpoint's at
+// child creation, so the engine continues the parent's counted RNG
+// stream; when the matrix turns out not to have changed, the run is
+// bit-identical to the parent's own trajectory. The child keeps its
+// own final checkpoint, so reclusters chain indefinitely.
+func (s *Server) warmFLOC(ctx context.Context, id string, spec *runSpec) (*ResultView, error) {
+	cfg := spec.floc
+	opts := s.flocRunOptions(id, 1)
+	opts.WarmStart = spec.warm
+	opts.KeepFinalCheckpoint = true
+	res, err := floc.RunWithOptions(ctx, spec.m, cfg, opts)
+	if err != nil {
+		var pr *floc.PartialResult
+		if !errors.As(err, &pr) {
+			return nil, err
+		}
+		if pr.Checkpoint != nil {
+			s.store.setCheckpoint(id, pr.Checkpoint)
+		}
+		view := flocView(pr.Result, cfg.Seed)
+		view.Partial = true
+		view.WarmStart = true
+		return view, err
+	}
+	s.keepFinal(id, res.FinalCheckpoint)
+	view := flocView(res, cfg.Seed)
+	view.WarmStart = true
+	return view, nil
+}
+
+// keepFinal records a completed run's final boundary as the job's
+// recluster handle and feeds it to the replication checkpoint stream
+// (which ignores it if a later-iteration periodic checkpoint already
+// landed there).
+func (s *Server) keepFinal(id string, ck *floc.Checkpoint) {
+	if ck == nil {
+		return
+	}
+	s.store.setFinalCheckpoint(id, ck)
+	s.store.setCheckpoint(id, ck)
+}
+
 // resumeFLOC continues a migrated FLOC job from its replicated
 // checkpoint: exactly one attempt, seeded as the checkpoint records,
 // so the trajectory past the boundary is bit-identical to the one the
@@ -234,6 +284,7 @@ func (s *Server) resumeFLOC(ctx context.Context, id string, spec *runSpec) (*Res
 	cfg := spec.floc
 	opts := s.flocRunOptions(id, 1)
 	opts.Resume = spec.resume
+	opts.KeepFinalCheckpoint = true
 	res, err := floc.RunWithOptions(ctx, spec.m, cfg, opts)
 	if err != nil {
 		var pr *floc.PartialResult
@@ -247,6 +298,7 @@ func (s *Server) resumeFLOC(ctx context.Context, id string, spec *runSpec) (*Res
 		view.Partial = true
 		return view, err
 	}
+	s.keepFinal(id, res.FinalCheckpoint)
 	return flocView(res, cfg.Seed), nil
 }
 

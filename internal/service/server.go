@@ -5,10 +5,12 @@
 // deadline and cancel path; results live in an in-memory store until
 // a TTL evicts them.
 //
-//	POST   /v1/jobs             submit a job        → 202 + job ID
-//	GET    /v1/jobs/{id}        status + progress   → 200
-//	GET    /v1/jobs/{id}/result final clustering    → 200
-//	DELETE /v1/jobs/{id}        cancel              → 202 (or 200)
+//	POST   /v1/jobs                  submit a job        → 202 + job ID
+//	GET    /v1/jobs/{id}             status + progress   → 200
+//	GET    /v1/jobs/{id}/result      final clustering    → 200
+//	DELETE /v1/jobs/{id}             cancel              → 202 (or 200)
+//	PATCH  /v1/jobs/{id}/matrix      deltastream patch   → 200
+//	POST   /v1/jobs/{id}:recluster   warm-start child    → 202
 //	GET    /healthz             liveness            → 200
 //	GET    /metrics             counters/histogram  → 200
 //
@@ -177,6 +179,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("PATCH /v1/jobs/{id}/matrix", s.handlePatchMatrix)
+	s.mux.HandleFunc("POST /v1/jobs/{target}", s.handleJobAction)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

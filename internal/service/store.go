@@ -9,6 +9,7 @@ import (
 
 	"deltacluster/internal/floc"
 	"deltacluster/internal/stats"
+	"deltacluster/internal/stream"
 )
 
 // JobState is the lifecycle position of a job.
@@ -38,7 +39,11 @@ func (s JobState) terminal() bool {
 
 // job is the store's record of one submission. All mutable fields are
 // guarded by the store's mutex; spec is immutable after creation and
-// may be read lock-free.
+// may be read lock-free. The one exception is the matrix spec.m points
+// to: a lineage PATCH mutates it in place, but only while no job of
+// the lineage is queued or running, and both the patch and every later
+// job start happen under the store mutex — so an engine never observes
+// a matrix that changes under it.
 type job struct {
 	id       string
 	spec     *runSpec
@@ -64,6 +69,28 @@ type job struct {
 	// attempt produced; Shutdown flushes it to the checkpoint
 	// directory.
 	checkpoint *floc.Checkpoint
+
+	// finalCheckpoint is the winning attempt's final iteration
+	// boundary, kept for every completed FLOC job — the parent handle
+	// a recluster warm-starts from after the lineage matrix mutates.
+	finalCheckpoint *floc.Checkpoint
+
+	// parent is the job this one was reclustered from ("" for a root
+	// submission); lineage is the root job ID of the recluster chain —
+	// every job in a lineage shares one live matrix and one mutation
+	// log.
+	parent  string
+	lineage string
+
+	// baseRows is the matrix row count at job creation. The lineage
+	// matrix cannot mutate while any of its jobs is queued or running,
+	// so this is also the row count the job's engine saw — the
+	// ParentRows a child's warm start needs.
+	baseRows int
+
+	// matrixVersion is the lineage mutation-log version at job
+	// creation: the matrix state this job's result reflects.
+	matrixVersion int
 }
 
 // store is the in-memory job table: deterministic IDs from a seeded
@@ -76,14 +103,20 @@ type store struct {
 	ttl  time.Duration
 	now  func() time.Time
 	jobs map[string]*job
+
+	// lineages maps a lineage root ID to its mutation log, created on
+	// the first PATCH (or adopted from a coordinator dispatch) and
+	// evicted with the lineage's last job record.
+	lineages map[string]*stream.Log
 }
 
 func newJobStore(seed int64, ttl time.Duration, now func() time.Time) *store {
 	return &store{
-		rng:  stats.NewRNG(seed),
-		ttl:  ttl,
-		now:  now,
-		jobs: make(map[string]*job),
+		rng:      stats.NewRNG(seed),
+		ttl:      ttl,
+		now:      now,
+		jobs:     make(map[string]*job),
+		lineages: make(map[string]*stream.Log),
 	}
 }
 
@@ -101,12 +134,7 @@ func (st *store) create(spec *runSpec) string {
 			break
 		}
 	}
-	st.jobs[id] = &job{
-		id:      id,
-		spec:    spec,
-		state:   StateQueued,
-		created: st.now(),
-	}
+	st.jobs[id] = newRootJobLocked(id, spec, st.now())
 	return id
 }
 
@@ -121,13 +149,40 @@ func (st *store) createWithID(id string, spec *runSpec) bool {
 	if _, taken := st.jobs[id]; taken {
 		return false
 	}
-	st.jobs[id] = &job{
+	st.jobs[id] = newRootJobLocked(id, spec, st.now())
+	return true
+}
+
+// newRootJobLocked builds a queued root-submission record: the job
+// heads its own lineage, and baseRows pins the matrix row count its
+// engine will see.
+func newRootJobLocked(id string, spec *runSpec, now time.Time) *job {
+	j := &job{
 		id:      id,
 		spec:    spec,
 		state:   StateQueued,
-		created: st.now(),
+		created: now,
+		lineage: id,
 	}
-	return true
+	if spec.m != nil {
+		j.baseRows = spec.m.Rows()
+	}
+	return j
+}
+
+// adoptLineageLog installs a pre-seeded mutation log for the job's
+// lineage — the coordinator dispatch path, where recorded patches were
+// already replayed onto the submitted matrix before the job was
+// created. The job's matrixVersion is aligned with the log head.
+func (st *store) adoptLineageLog(id string, log *stream.Log) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return
+	}
+	st.lineages[j.lineage] = log
+	j.matrixVersion = log.Version()
 }
 
 // drop removes a job outright (submission rollback when the queue
@@ -135,7 +190,40 @@ func (st *store) createWithID(id string, spec *runSpec) bool {
 func (st *store) drop(id string) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.evictLocked(id)
+}
+
+// evictLocked removes a job record and, when it was the lineage's last
+// record, the lineage's mutation log with it.
+func (st *store) evictLocked(id string) {
+	j := st.jobs[id]
+	if j == nil {
+		return
+	}
 	delete(st.jobs, id)
+	if _, held := st.lineages[j.lineage]; !held {
+		return
+	}
+	//deltavet:ignore maporder reason=order-independent existence scan; returns on any lineage sibling, no per-entry effects
+	for _, other := range st.jobs {
+		if other.lineage == j.lineage {
+			return
+		}
+	}
+	delete(st.lineages, j.lineage)
+}
+
+// lineageBusyLocked reports whether any job of the lineage is queued
+// or running — the state in which the shared matrix must not mutate
+// and no second recluster may start.
+func (st *store) lineageBusyLocked(lineage string) bool {
+	//deltavet:ignore maporder reason=order-independent existence scan; any non-terminal lineage member answers true, no per-entry effects
+	for _, j := range st.jobs {
+		if j.lineage == lineage && !j.state.terminal() {
+			return true
+		}
+	}
+	return false
 }
 
 // spec returns the job's immutable run plan, or nil if the job is
@@ -309,7 +397,7 @@ func (st *store) view(id string) (JobView, bool) {
 		return JobView{}, false
 	}
 	if st.expiredLocked(j) {
-		delete(st.jobs, id)
+		st.evictLocked(id)
 		return JobView{}, false
 	}
 	return j.viewLocked(), true
@@ -325,7 +413,7 @@ func (st *store) result(id string) (res *ResultView, view JobView, ok bool) {
 		return nil, JobView{}, false
 	}
 	if st.expiredLocked(j) {
-		delete(st.jobs, id)
+		st.evictLocked(id)
 		return nil, JobView{}, false
 	}
 	return j.result, j.viewLocked(), true
@@ -345,7 +433,7 @@ func (st *store) sweep() {
 	sort.Strings(ids)
 	for _, id := range ids {
 		if st.expiredLocked(st.jobs[id]) {
-			delete(st.jobs, id)
+			st.evictLocked(id)
 		}
 	}
 }
@@ -401,6 +489,8 @@ func (j *job) viewLocked() JobView {
 		Created:         j.created,
 		Error:           j.errMsg,
 		CancelRequested: j.cancelRequested,
+		ParentID:        j.parent,
+		MatrixVersion:   j.matrixVersion,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -415,4 +505,169 @@ func (j *job) viewLocked() JobView {
 		v.Progress = &p
 	}
 	return v
+}
+
+// patchOutcome describes a committed lineage matrix mutation.
+type patchOutcome struct {
+	jobID   string
+	lineage string
+	version int
+	rows    int
+	cols    int
+}
+
+// patchMatrix applies a mutation batch to the lineage matrix of the
+// addressed job — the PATCH /v1/jobs/{id}/matrix core. The whole
+// check-and-apply is one critical section: lineage idleness is decided
+// under the same lock that gates job creation and start, so a
+// concurrent recluster and PATCH serialize and the loser observes the
+// winner (409), never a silently torn matrix.
+func (st *store) patchMatrix(id string, mu stream.Mutation) (patchOutcome, *apiError) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil || st.expiredLocked(j) {
+		if j != nil {
+			st.evictLocked(id)
+		}
+		return patchOutcome{}, &apiError{status: 404, code: CodeNotFound, message: "no such job: " + id}
+	}
+	if j.spec.algorithm != AlgoFLOC || j.spec.m == nil {
+		return patchOutcome{}, badRequest("matrix streaming is only supported for floc jobs")
+	}
+	if st.lineageBusyLocked(j.lineage) {
+		return patchOutcome{}, &apiError{
+			status:  409,
+			code:    CodeLineageBusy,
+			message: "lineage " + j.lineage + " has a queued or running job; the matrix cannot mutate under it",
+		}
+	}
+	log := st.lineages[j.lineage]
+	if log == nil {
+		log = stream.NewLog(j.spec.m.Rows(), j.spec.m.Cols())
+		st.lineages[j.lineage] = log
+	}
+	version, err := log.Apply(j.spec.m, mu)
+	if err != nil {
+		return patchOutcome{}, badRequest(err.Error())
+	}
+	return patchOutcome{
+		jobID:   id,
+		lineage: j.lineage,
+		version: version,
+		rows:    j.spec.m.Rows(),
+		cols:    j.spec.m.Cols(),
+	}, nil
+}
+
+// beginRecluster creates the queued warm-start child of a completed
+// job — the POST /v1/jobs/{id}:recluster core. The parent must be a
+// done FLOC job holding a final checkpoint, and the lineage must be
+// idle; the child shares the parent's live matrix, runs a single
+// attempt under the checkpoint's seed, and warm-starts with ParentRows
+// pinned to the row count the parent's engine saw. childID may be
+// caller-chosen (coordinator dispatch); redelivering the same childID
+// for the same parent observes the existing child instead of
+// double-running; created reports whether this call registered the
+// child (false on redelivery — the caller must not enqueue twice).
+func (st *store) beginRecluster(parentID, childID string) (view JobView, warmIter int, created bool, aerr *apiError) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	parent := st.jobs[parentID]
+	if parent == nil || st.expiredLocked(parent) {
+		if parent != nil {
+			st.evictLocked(parentID)
+		}
+		return JobView{}, 0, false, &apiError{status: 404, code: CodeNotFound, message: "no such job: " + parentID}
+	}
+	if parent.spec.algorithm != AlgoFLOC || parent.spec.m == nil {
+		return JobView{}, 0, false, badRequest("recluster is only supported for floc jobs")
+	}
+	if existing := st.jobs[childID]; childID != "" && existing != nil {
+		if existing.parent == parentID {
+			return existing.viewLocked(), 0, false, nil
+		}
+		return JobView{}, 0, false, badRequest("job ID already in use: " + childID)
+	}
+	if parent.state != StateDone {
+		return JobView{}, 0, false, &apiError{
+			status:  409,
+			code:    CodeJobNotDone,
+			message: fmt.Sprintf("job %s is %s; only a done job can be reclustered", parentID, parent.state),
+		}
+	}
+	ck := parent.finalCheckpoint
+	if ck == nil {
+		return JobView{}, 0, false, &apiError{
+			status:  409,
+			code:    CodeNoCheckpoint,
+			message: "job " + parentID + " kept no final checkpoint to warm-start from",
+		}
+	}
+	if st.lineageBusyLocked(parent.lineage) {
+		return JobView{}, 0, false, &apiError{
+			status:  409,
+			code:    CodeLineageBusy,
+			message: "lineage " + parent.lineage + " already has a queued or running job",
+		}
+	}
+
+	cfg := parent.spec.floc
+	cfg.Seed = ck.Seed // the warm engine continues the parent's counted RNG stream
+	spec := &runSpec{
+		algorithm: AlgoFLOC,
+		m:         parent.spec.m,
+		floc:      cfg,
+		attempts:  1,
+		deadline:  parent.spec.deadline,
+		warm:      &floc.WarmStart{Checkpoint: ck, ParentRows: parent.baseRows},
+	}
+	id := childID
+	if id == "" {
+		for {
+			id = fmt.Sprintf("j%016x", uint64(st.rng.Int63()))
+			if _, taken := st.jobs[id]; !taken {
+				break
+			}
+		}
+	}
+	child := &job{
+		id:       id,
+		spec:     spec,
+		state:    StateQueued,
+		created:  st.now(),
+		parent:   parentID,
+		lineage:  parent.lineage,
+		baseRows: spec.m.Rows(),
+	}
+	if log := st.lineages[parent.lineage]; log != nil {
+		child.matrixVersion = log.Version()
+	}
+	st.jobs[id] = child
+	return child.viewLocked(), ck.Iterations, true, nil
+}
+
+// setFinalCheckpoint records a completed FLOC job's final iteration
+// boundary — the handle a later recluster warm-starts from.
+func (st *store) setFinalCheckpoint(id string, ck *floc.Checkpoint) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j := st.jobs[id]; j != nil {
+		j.finalCheckpoint = ck
+	}
+}
+
+// matrixVersionOf returns the current head version of the job's
+// lineage mutation log (0 before the first patch).
+func (st *store) matrixVersionOf(id string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j := st.jobs[id]
+	if j == nil {
+		return 0
+	}
+	if log := st.lineages[j.lineage]; log != nil {
+		return log.Version()
+	}
+	return 0
 }

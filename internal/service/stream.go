@@ -1,0 +1,218 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/stream"
+)
+
+// MatrixPatchRequest is the body of PATCH /v1/jobs/{id}/matrix: one
+// deltastream mutation batch against the addressed job's lineage
+// matrix. The batch is atomic — it is validated in full against the
+// current matrix shape before anything is written — and applies
+// appends first, then updates, then retractions, so a batch may update
+// entries of rows it appends. Unknown fields are rejected.
+//
+// A patch is only accepted while the lineage is idle (no queued or
+// running job shares the matrix); otherwise the request fails with 409
+// lineage_busy rather than mutating data under a live engine.
+type MatrixPatchRequest struct {
+	// AppendRows adds new object rows; each needs exactly cols entries,
+	// null marking a missing value.
+	AppendRows [][]*float64 `json:"append_rows,omitempty"`
+
+	// Updates revises individual entries; a null value marks the entry
+	// missing (equivalent to a retraction).
+	Updates []CellPatch `json:"updates,omitempty"`
+
+	// Retract marks individual entries missing.
+	Retract []CellRef `json:"retract,omitempty"`
+}
+
+// CellPatch addresses one entry and its new value.
+type CellPatch struct {
+	Row   int      `json:"row"`
+	Col   int      `json:"col"`
+	Value *float64 `json:"value"` // null marks the entry missing
+}
+
+// CellRef addresses one entry.
+type CellRef struct {
+	Row int `json:"row"`
+	Col int `json:"col"`
+}
+
+// MatrixPatchResponse is the body of a successful matrix PATCH.
+type MatrixPatchResponse struct {
+	// JobID echoes the addressed job; Lineage is the root job whose
+	// mutation log recorded the patch (every job of the lineage now
+	// sees the mutated matrix).
+	JobID   string `json:"job_id"`
+	Lineage string `json:"lineage"`
+
+	// MatrixVersion is the mutation log's new head version.
+	MatrixVersion int `json:"matrix_version"`
+
+	// Rows and Cols are the matrix shape after the patch.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+}
+
+// ReclusterRequest is the optional body of POST
+// /v1/jobs/{id}:recluster.
+type ReclusterRequest struct {
+	// ChildID, when set, chooses the new job's ID — the coordinator
+	// dispatch path, where IDs are minted upstream. Redelivering the
+	// same ChildID for the same parent observes the existing child
+	// instead of starting a second run.
+	ChildID string `json:"child_id,omitempty"`
+}
+
+// ReclusterResponse is the body of a successful recluster: the queued
+// warm-start child and its provenance.
+type ReclusterResponse struct {
+	Job JobView `json:"job"`
+
+	// ParentID is the completed job whose final checkpoint seeds the
+	// child.
+	ParentID string `json:"parent_id"`
+
+	// WarmFromIteration is the parent checkpoint's iteration count —
+	// the converged state the child re-anchors instead of cold seeding.
+	WarmFromIteration int `json:"warm_from_iteration"`
+}
+
+// mutation lowers the wire patch to the stream.Mutation the log
+// records. JSON cannot carry NaN or Inf literals, so every non-null
+// number is finite; null lowers to NaN, the matrix's missing marker.
+func (req *MatrixPatchRequest) mutation() stream.Mutation {
+	var mu stream.Mutation
+	if len(req.AppendRows) > 0 {
+		mu.AppendRows = make([][]float64, len(req.AppendRows))
+		for i, r := range req.AppendRows {
+			row := make([]float64, len(r))
+			for j, v := range r {
+				if v == nil {
+					row[j] = math.NaN()
+				} else {
+					row[j] = *v
+				}
+			}
+			mu.AppendRows[i] = row
+		}
+	}
+	if len(req.Updates) > 0 {
+		mu.Updates = make([]matrix.Cell, len(req.Updates))
+		for n, c := range req.Updates {
+			val := math.NaN()
+			if c.Value != nil {
+				val = *c.Value
+			}
+			mu.Updates[n] = matrix.Cell{Row: c.Row, Col: c.Col, Value: val}
+		}
+	}
+	if len(req.Retract) > 0 {
+		mu.Retract = make([]matrix.CellRef, len(req.Retract))
+		for n, c := range req.Retract {
+			mu.Retract[n] = matrix.CellRef{Row: c.Row, Col: c.Col}
+		}
+	}
+	return mu
+}
+
+// handlePatchMatrix is PATCH /v1/jobs/{id}/matrix: commit one mutation
+// batch to the job's lineage matrix and mutation log, atomically with
+// the lineage-idle check.
+func (s *Server) handlePatchMatrix(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req MatrixPatchRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeInvalidRequest,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding patch: %v", err)
+		return
+	}
+	out, aerr := s.store.patchMatrix(id, req.mutation())
+	if aerr != nil {
+		if aerr.code == CodeLineageBusy {
+			s.metrics.lineageConflict()
+		}
+		writeError(w, aerr.status, aerr.code, "%s", aerr.message)
+		return
+	}
+	s.metrics.matrixPatched()
+	s.logf("deltaserve: job %s: matrix patched to version %d (%dx%d)",
+		id, out.version, out.rows, out.cols)
+	writeJSON(w, http.StatusOK, MatrixPatchResponse{
+		JobID:         out.jobID,
+		Lineage:       out.lineage,
+		MatrixVersion: out.version,
+		Rows:          out.rows,
+		Cols:          out.cols,
+	})
+}
+
+// handleJobAction is POST /v1/jobs/{target} where target is
+// "<id>:recluster" — Go's mux matches the whole segment, so the action
+// suffix is parsed here. The recluster queues a warm-start child of a
+// completed FLOC job: same matrix (as currently patched), single
+// attempt, seeded from the parent's final checkpoint.
+func (s *Server) handleJobAction(w http.ResponseWriter, r *http.Request) {
+	target := r.PathValue("target")
+	id, isRecluster := strings.CutSuffix(target, ":recluster")
+	if !isRecluster || id == "" {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			"unknown job action %q (want {id}:recluster)", target)
+		return
+	}
+
+	var req ReclusterRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding recluster request: %v", err)
+		return
+	}
+
+	s.store.sweep()
+	view, warmIter, created, aerr := s.store.beginRecluster(id, req.ChildID)
+	if aerr != nil {
+		if aerr.code == CodeLineageBusy {
+			s.metrics.lineageConflict()
+		}
+		writeError(w, aerr.status, aerr.code, "%s", aerr.message)
+		return
+	}
+	if !created {
+		// Idempotent redelivery: the child already exists for this
+		// parent; observe it instead of double-running.
+		writeJSON(w, http.StatusOK, ReclusterResponse{Job: view, ParentID: id})
+		return
+	}
+	if !s.enqueue(w, view.ID) {
+		return
+	}
+	s.metrics.reclusterAccepted()
+	s.logf("deltaserve: job %s: recluster child %s queued (warm from iteration %d)",
+		id, view.ID, warmIter)
+	w.Header().Set("Location", "/v1/jobs/"+view.ID)
+	writeJSON(w, http.StatusAccepted, ReclusterResponse{
+		Job:               view,
+		ParentID:          id,
+		WarmFromIteration: warmIter,
+	})
+}
