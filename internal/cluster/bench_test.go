@@ -111,3 +111,70 @@ func BenchmarkColToggle(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkInsertionMass measures the incremental gain tier's
+// insertion-side kernel: scoring a candidate row/column against the
+// cluster's current bases in one O(row)/O(col) pass — what replaces
+// the exact O(volume) rescan of BenchmarkResidueWith when ranking
+// insertions under GainMode=incremental. (Removals read the recorded
+// share in O(1) and need no benchmark.)
+func BenchmarkInsertionMass(b *testing.B) {
+	m := benchMatrix(b)
+	b.Run("row", func(b *testing.B) {
+		cl := benchCluster(b, m)
+		cl.EnableResidueAggregates(ArithmeticMean)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			mass, _ := cl.RowInsertionMass(1, ArithmeticMean) // row 1 is not a member
+			sink += mass
+		}
+		_ = sink
+	})
+	b.Run("col", func(b *testing.B) {
+		cl := benchCluster(b, m)
+		cl.EnableResidueAggregates(ArithmeticMean)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			mass, _ := cl.ColInsertionMass(0, ArithmeticMean) // column 0 is not a member
+			sink += mass
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkColToggleAggregates is BenchmarkColToggle with the
+// residue-mass tier enabled: each save/toggle/undo additionally folds
+// the column's φ-contributions in and out of the maintained masses
+// and restores them bit-for-bit. The delta over BenchmarkColToggle is
+// the fold's bookkeeping cost per speculative evaluation.
+func BenchmarkColToggleAggregates(b *testing.B) {
+	m := benchMatrix(b)
+	b.Run("add", func(b *testing.B) {
+		cl := benchCluster(b, m)
+		cl.EnableResidueAggregates(ArithmeticMean)
+		var u ToggleUndo
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cl.SaveColToggle(0, &u) // column 0 is not a member
+			cl.ToggleCol(0)
+			cl.UndoColToggle(0, &u)
+		}
+	})
+	b.Run("remove", func(b *testing.B) {
+		cl := benchCluster(b, m)
+		cl.EnableResidueAggregates(ArithmeticMean)
+		var u ToggleUndo
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cl.SaveColToggle(1, &u) // column 1 is a member
+			cl.ToggleCol(1)
+			cl.UndoColToggle(1, &u)
+		}
+	})
+}

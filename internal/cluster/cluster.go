@@ -83,6 +83,20 @@ type Cluster struct {
 	packBases  []float64 // r → rowSum/rowCnt of memberRows[r], recached on mutation // deltavet:guard
 	packStride int       // floats per pack block; 0 while disabled // deltavet:guard
 
+	// The residue-mass aggregates (incremental.go): absSum carries
+	// Σφ(r_ij) over the cluster's specified entries — φ = |·| under
+	// ArithmeticMean, squaring under SquaredMean — with rowAbs/colAbs
+	// each row's and column's share. Delta-maintained by the membership
+	// mutators under the fold convention documented in incremental.go
+	// once EnableResidueAggregates turns the tier on, and guarded like
+	// the sums: only deltavet:writer functions may assign them.
+	absTracked bool        // tier enabled; set only by EnableResidueAggregates/CopyFrom
+	specPaused bool        // maintenance suspended (speculative toggles); see SetSpeculationPaused
+	absMean    ResidueMean // which φ the masses aggregate
+	rowAbs     []float64   // per matrix row: its share of absSum // deltavet:guard
+	colAbs     []float64   // per matrix col: its share of absSum // deltavet:guard
+	absSum     float64     // Σφ(r_ij) under the fold convention // deltavet:guard
+
 	// colBases is unguarded scratch reused by ResidueWith to hold the
 	// hoisted attribute bases for one scan. It carries no state between
 	// calls (fully overwritten before use) and is deliberately not
@@ -236,7 +250,7 @@ func (c *Cluster) AddRow(i int) {
 	c.rowPos[i] = len(c.memberRows)
 	c.memberRows = append(c.memberRows, i)
 	row := c.m.RowView(i)
-	if c.packStride > 0 {
+	if c.packStride > 0 && !c.specPaused {
 		c.packAppendRow(row)
 	}
 	for _, j := range c.memberCols {
@@ -251,9 +265,12 @@ func (c *Cluster) AddRow(i int) {
 		c.total += v
 		c.volume++
 	}
-	if c.packStride > 0 {
+	if c.packStride > 0 && !c.specPaused {
 		// Only the new row's sums changed; the other cached bases stand.
 		c.packRefreshBase(len(c.memberRows)-1, i)
+	}
+	if c.absTracked && !c.specPaused {
+		c.absAddRow(i)
 	}
 }
 
@@ -265,13 +282,17 @@ func (c *Cluster) RemoveRow(i int) {
 	if pos < 0 {
 		panic(fmt.Sprintf("cluster: RemoveRow(%d): not a member", i))
 	}
+	if c.absTracked && !c.specPaused {
+		// Unwind the residue masses first, under the pre-removal bases.
+		c.absRemoveRow(i)
+	}
 	last := len(c.memberRows) - 1
 	moved := c.memberRows[last]
 	c.memberRows[pos] = moved
 	c.rowPos[moved] = pos
 	c.memberRows = c.memberRows[:last]
 	c.rowPos[i] = -1
-	if c.packStride > 0 {
+	if c.packStride > 0 && !c.specPaused {
 		c.packRemoveRow(pos)
 	}
 
@@ -299,7 +320,7 @@ func (c *Cluster) AddCol(j int) {
 	}
 	c.colPos[j] = len(c.memberCols)
 	c.memberCols = append(c.memberCols, j)
-	if c.packStride > 0 && len(c.memberCols) > c.packStride {
+	if c.packStride > 0 && !c.specPaused && len(c.memberCols) > c.packStride {
 		// Widen before the early return too: with no member rows there
 		// are no blocks to move, but the stride invariant
 		// (packStride ≥ len(memberCols)) must hold before the next
@@ -315,7 +336,7 @@ func (c *Cluster) AddCol(j int) {
 	// above keeps generators that add columns to empty clusters from
 	// forcing a mirror build they will never read.
 	col := c.m.ColView(j)
-	if c.packStride > 0 {
+	if c.packStride > 0 && !c.specPaused {
 		c.packAppendCol(col)
 	}
 	for _, i := range c.memberRows {
@@ -330,8 +351,11 @@ func (c *Cluster) AddCol(j int) {
 		c.total += v
 		c.volume++
 	}
-	if c.packStride > 0 {
+	if c.packStride > 0 && !c.specPaused {
 		c.packRefreshBases()
+	}
+	if c.absTracked && !c.specPaused {
+		c.absAddCol(j)
 	}
 }
 
@@ -343,13 +367,17 @@ func (c *Cluster) RemoveCol(j int) {
 	if pos < 0 {
 		panic(fmt.Sprintf("cluster: RemoveCol(%d): not a member", j))
 	}
+	if c.absTracked && !c.specPaused {
+		// Unwind the residue masses first, under the pre-removal bases.
+		c.absRemoveCol(j)
+	}
 	last := len(c.memberCols) - 1
 	moved := c.memberCols[last]
 	c.memberCols[pos] = moved
 	c.colPos[moved] = pos
 	c.memberCols = c.memberCols[:last]
 	c.colPos[j] = -1
-	if c.packStride > 0 {
+	if c.packStride > 0 && !c.specPaused {
 		c.packRemoveCol(pos)
 	}
 
@@ -365,7 +393,7 @@ func (c *Cluster) RemoveCol(j int) {
 			c.total -= v
 			c.volume--
 		}
-		if c.packStride > 0 {
+		if c.packStride > 0 && !c.specPaused {
 			c.packRefreshBases()
 		}
 	}
@@ -395,6 +423,13 @@ type ToggleUndo struct {
 	itemCnt int
 	pos     int
 	member  bool
+
+	// Residue-mass capture, filled only while the incremental tier is
+	// enabled: the cross-axis shares in internal order, the toggled
+	// item's own share and the total mass.
+	abs      []float64
+	absItem  float64
+	absTotal float64
 }
 
 // SaveRowToggle records in u everything a ToggleRow(i) will disturb.
@@ -409,6 +444,14 @@ func (c *Cluster) SaveRowToggle(i int, u *ToggleUndo) {
 	u.sums = u.sums[:0]
 	for _, j := range c.memberCols {
 		u.sums = append(u.sums, c.colSum[j])
+	}
+	if c.absTracked && !c.specPaused {
+		u.absItem = c.rowAbs[i]
+		u.absTotal = c.absSum
+		u.abs = u.abs[:0]
+		for _, j := range c.memberCols {
+			u.abs = append(u.abs, c.colAbs[j])
+		}
 	}
 }
 
@@ -429,12 +472,12 @@ func (c *Cluster) UndoRowToggle(i int, u *ToggleUndo) {
 		c.memberRows[last] = moved
 		c.rowPos[i] = u.pos
 		c.rowPos[moved] = last
-		if c.packStride > 0 {
+		if c.packStride > 0 && !c.specPaused {
 			c.packSwapRows(u.pos, last)
 		}
 		c.rowSum[i] = u.itemSum
 		c.rowCnt[i] = u.itemCnt
-		if c.packStride > 0 {
+		if c.packStride > 0 && !c.specPaused {
 			// AddRow cached a base from the re-accumulated sums; recache
 			// it from the restored bits.
 			c.packRefreshBase(u.pos, i)
@@ -447,6 +490,15 @@ func (c *Cluster) UndoRowToggle(i int, u *ToggleUndo) {
 	}
 	for k, j := range c.memberCols {
 		c.colSum[j] = u.sums[k]
+	}
+	if c.absTracked && !c.specPaused {
+		// The Add/Remove inside this undo re-folded the residue masses
+		// under whatever bases it saw; restore the captured bits.
+		for k, j := range c.memberCols {
+			c.colAbs[j] = u.abs[k]
+		}
+		c.rowAbs[i] = u.absItem
+		c.absSum = u.absTotal
 	}
 	c.total = u.total
 }
@@ -463,6 +515,14 @@ func (c *Cluster) SaveColToggle(j int, u *ToggleUndo) {
 	for _, i := range c.memberRows {
 		u.sums = append(u.sums, c.rowSum[i])
 	}
+	if c.absTracked && !c.specPaused {
+		u.absItem = c.colAbs[j]
+		u.absTotal = c.absSum
+		u.abs = u.abs[:0]
+		for _, i := range c.memberRows {
+			u.abs = append(u.abs, c.rowAbs[i])
+		}
+	}
 }
 
 // UndoColToggle exactly reverses the ToggleCol(j) that followed
@@ -476,7 +536,7 @@ func (c *Cluster) UndoColToggle(j int, u *ToggleUndo) {
 		c.memberCols[last] = moved
 		c.colPos[j] = u.pos
 		c.colPos[moved] = last
-		if c.packStride > 0 {
+		if c.packStride > 0 && !c.specPaused {
 			c.packSwapCols(u.pos, last)
 		}
 		c.colSum[j] = u.itemSum
@@ -487,7 +547,16 @@ func (c *Cluster) UndoColToggle(j int, u *ToggleUndo) {
 	for k, i := range c.memberRows {
 		c.rowSum[i] = u.sums[k]
 	}
-	if c.packStride > 0 {
+	if c.absTracked && !c.specPaused {
+		// See UndoRowToggle: the masses re-folded inside this undo are
+		// overwritten with the captured bits.
+		for k, i := range c.memberRows {
+			c.rowAbs[i] = u.abs[k]
+		}
+		c.colAbs[j] = u.absItem
+		c.absSum = u.absTotal
+	}
+	if c.packStride > 0 && !c.specPaused {
 		// The restore loop above rewrote every member row's sum; the
 		// bases cached by the AddCol/RemoveCol inside this undo are
 		// stale. Recache from the restored bits.
@@ -773,6 +842,12 @@ func (c *Cluster) Clone() *Cluster {
 		pack:       append([]float64(nil), c.pack...),
 		packBases:  append([]float64(nil), c.packBases...),
 		packStride: c.packStride,
+		absTracked: c.absTracked,
+		specPaused: c.specPaused,
+		absMean:    c.absMean,
+		rowAbs:     append([]float64(nil), c.rowAbs...),
+		colAbs:     append([]float64(nil), c.colAbs...),
+		absSum:     c.absSum,
 	}
 }
 
@@ -802,6 +877,22 @@ func (c *Cluster) CopyFrom(o *Cluster) {
 		copy(c.packBases, o.packBases)
 	} else if c.packStride > 0 {
 		c.rebuildPack()
+	}
+	if o.absTracked {
+		// Adopt the source's residue masses bit-for-bit, same as the
+		// sums above.
+		c.absTracked = true
+		c.specPaused = o.specPaused
+		c.absMean = o.absMean
+		if len(c.rowAbs) == 0 {
+			c.rowAbs = make([]float64, len(c.rowPos))
+			c.colAbs = make([]float64, len(c.colPos))
+		}
+		copy(c.rowAbs, o.rowAbs)
+		copy(c.colAbs, o.colAbs)
+		c.absSum = o.absSum
+	} else if c.absTracked {
+		c.refreshResidueAggregates()
 	}
 }
 
@@ -837,6 +928,11 @@ func (c *Cluster) Recompute() {
 	}
 	if c.packStride > 0 {
 		c.packRefreshBases()
+	}
+	if c.absTracked {
+		// The wholesale rebuild is the tier's refresh point: the masses
+		// return to the from-scratch definition under the fresh bases.
+		c.refreshResidueAggregates()
 	}
 }
 

@@ -122,6 +122,13 @@ func resumeEngine(m *matrix.Matrix, cfg *Config, ck *Checkpoint) (*engine, error
 			return nil, fmt.Errorf("floc: checkpoint cluster %d: %w", c, err)
 		}
 		cl.EnablePack()
+		if cfg.GainMode == GainIncremental {
+			// Checkpoints are cut at iteration boundaries, where the
+			// residue masses are refresh-exact — rebuilding them from the
+			// restored sums reproduces exactly the state an uninterrupted
+			// incremental run carries at this boundary.
+			cl.EnableResidueAggregates(cfg.ResidueMean)
+		}
 		e.clusters[c] = cl
 		e.residues[c] = cl.ResidueWith(cfg.ResidueMean)
 		e.resSum += e.residues[c]
@@ -148,6 +155,12 @@ func resumeEngine(m *matrix.Matrix, cfg *Config, ck *Checkpoint) (*engine, error
 // Workers is excluded for the same reason: the decide phase's worker
 // count never changes a bit of the trajectory (see Config.Workers),
 // so a checkpoint written at one worker count resumes at any other.
+// GainMode is excluded too, though for a subtler reason: checkpoints
+// are cut at iteration boundaries, where the incremental tier's
+// residue masses are refreshed to exactly what the exact tier
+// computes, so a boundary state written under either mode is a valid
+// starting state for the other — resuming merely picks the scoring
+// tier for the iterations still to come (see Config.GainMode).
 func configSum(cfg *Config) uint64 {
 	h := fnv.New64a()
 	var b [8]byte

@@ -145,6 +145,43 @@ func (p GainPolicy) String() string {
 	}
 }
 
+// GainMode selects the scoring tier the decide phase evaluates
+// candidate actions with.
+type GainMode int
+
+const (
+	// GainExact (the zero value, the default) scores every candidate
+	// with the exact residue kernel — an O(volume) rescan per
+	// evaluation. This is the seed behaviour, bit-for-bit.
+	GainExact GainMode = iota
+
+	// GainIncremental ranks candidates from delta-maintained
+	// residue-mass aggregates (see cluster.EnableResidueAggregates):
+	// a speculative toggle folds the item's own residue contribution
+	// in or out in O(row)/O(col), and the candidate residue is then
+	// one division — mass/volume — instead of the O(volume) rescan.
+	// The estimate only *ranks*: every applied action, reported
+	// residue and occupancy/volume/overlap check still runs the exact
+	// kernel, and the aggregates are refreshed to exact at every
+	// iteration boundary, so drift never compounds across iterations.
+	// Results may differ from exact mode by bounded amounts (the
+	// bounded-drift suite in gainmode_test.go pins the bound); for a
+	// fixed seed they are still bit-identical across worker counts.
+	GainIncremental
+)
+
+// String names the mode as accepted by floc -gain-mode.
+func (g GainMode) String() string {
+	switch g {
+	case GainExact:
+		return "exact"
+	case GainIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("GainMode(%d)", int(g))
+	}
+}
+
 // SeedMode selects the phase-1 seeding strategy.
 type SeedMode int
 
@@ -283,8 +320,22 @@ type Config struct {
 	// residue contribution under the cluster's current bases, instead
 	// of recomputing the candidate cluster's exact residue. It reduces
 	// the per-evaluation cost from O(n·m) to O(n+m) and is ablated in
-	// the benchmark suite.
+	// the benchmark suite. Mutually exclusive with GainIncremental,
+	// which supersedes it: the aggregate tier reaches the same
+	// complexity class with an estimator that re-anchors to exact at
+	// every iteration boundary.
 	ApproximateGain bool
+
+	// GainMode selects the decide phase's scoring tier; see the
+	// GainMode constants. The zero value, GainExact, reproduces the
+	// seed trajectory bit-for-bit. Like Workers, GainMode is excluded
+	// from the checkpoint's ConfigSum: checkpoints are cut at
+	// iteration boundaries, where the incremental tier's aggregates
+	// are refreshed to exactly the values the exact tier computes, so
+	// a checkpoint written under either mode is a valid starting state
+	// for the other (the trajectories may then diverge forward under
+	// incremental ranking, by amounts the bounded-drift suite pins).
+	GainMode GainMode
 
 	// Workers is the number of goroutines the phase-2 decide phase
 	// shards its (M+N)·K gain evaluations across. 0 (the zero value)
@@ -363,6 +414,14 @@ func (cfg *Config) validate(rows, cols int) error {
 	}
 	if o := cfg.Order; o != FixedOrder && o != RandomOrder && o != WeightedRandomOrder {
 		return fmt.Errorf("floc: unknown order %d", int(o))
+	}
+	switch cfg.GainMode {
+	case GainExact, GainIncremental:
+	default:
+		return fmt.Errorf("floc: unknown gain mode %d", int(cfg.GainMode))
+	}
+	if cfg.GainMode == GainIncremental && cfg.ApproximateGain {
+		return fmt.Errorf("floc: ApproximateGain and GainMode incremental are mutually exclusive scoring tiers")
 	}
 	if cfg.Workers < 0 {
 		return fmt.Errorf("floc: Workers = %d, want ≥ 0 (0 means GOMAXPROCS)", cfg.Workers)

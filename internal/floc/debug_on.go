@@ -46,6 +46,32 @@ func (e *engine) assertInvariants(context string) {
 		if cl.Volume() != fresh.Volume() {
 			die("cluster %d cached volume %d, recomputed %d", c, cl.Volume(), fresh.Volume())
 		}
+		if cl.ResidueAggregatesEnabled() {
+			// Every assert context sits at a refresh point: seeding,
+			// warm start, resume, iteration boundary and restore land on
+			// boundary states, and apply re-anchors the masses beside
+			// its exact rescan — so the fold-convention masses must
+			// agree with the from-scratch definition (which Recompute on
+			// the clone just rebuilt) after every mutation the engine
+			// performs. Only mid-evaluation state (between a speculative
+			// toggle and its exact undo) is ever one fold away, and that
+			// state is never observable here.
+			if !within(cl.ResidueMass(), fresh.ResidueMass()) {
+				die("cluster %d residue mass %v, recomputed %v", c, cl.ResidueMass(), fresh.ResidueMass())
+			}
+			for _, i := range cl.Rows() {
+				if !within(cl.RowResidueMass(i), fresh.RowResidueMass(i)) {
+					die("cluster %d row %d residue mass %v, recomputed %v",
+						c, i, cl.RowResidueMass(i), fresh.RowResidueMass(i))
+				}
+			}
+			for _, j := range cl.Cols() {
+				if !within(cl.ColResidueMass(j), fresh.ColResidueMass(j)) {
+					die("cluster %d column %d residue mass %v, recomputed %v",
+						c, j, cl.ColResidueMass(j), fresh.ColResidueMass(j))
+				}
+			}
+		}
 		cachedRes := cl.ResidueWith(e.cfg.ResidueMean)
 		trueRes := fresh.ResidueWith(e.cfg.ResidueMean)
 		if !within(cachedRes, trueRes) {

@@ -189,6 +189,9 @@ func newEngine(m *matrix.Matrix, cfg *Config) *engine {
 	m.EnsureDerived()
 	for _, cl := range e.clusters {
 		cl.EnablePack()
+		if cfg.GainMode == GainIncremental {
+			cl.EnableResidueAggregates(cfg.ResidueMean)
+		}
 	}
 	e.residues = make([]float64, cfg.K)
 	e.costs = make([]float64, cfg.K)
@@ -408,6 +411,14 @@ func (e *engine) apply(isRow bool, idx, c int) {
 		}
 	}
 	newRes := cl.ResidueWith(e.cfg.ResidueMean)
+	if e.cfg.GainMode == GainIncremental {
+		// Re-anchor the residue masses beside the exact rescan this
+		// apply just paid for. Without this, estimates read between
+		// applies (polish's evaluate-apply-evaluate loop in particular)
+		// would compound one fold of drift per applied action; with it,
+		// every estimate is at most one speculative fold from exact.
+		cl.RefreshResidueAggregates()
+	}
 	e.resSum += newRes - e.residues[c]
 	e.residues[c] = newRes
 	newCost := e.cost(newRes, cl.Volume(), cl.NumRows(), cl.NumCols())

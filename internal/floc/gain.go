@@ -58,9 +58,29 @@ func (e *engine) evalAction(isRow bool, idx, c int) float64 {
 		}
 	}
 
+	// Estimator tiers score against the *pre-toggle* state: judging a
+	// candidate under the bases it would itself shift is systematically
+	// optimistic for insertions (the incoming entries absorb part of
+	// their own deviation into the bases they join), so both
+	// approximate tiers read the current bases and only then toggle for
+	// the constraint checks below.
 	var approx float64
-	if e.cfg.ApproximateGain {
+	switch {
+	case e.cfg.GainMode == GainIncremental:
+		approx = e.incrementalGain(c, isRow, idx, isMember)
+	case e.cfg.ApproximateGain:
 		approx = e.approximateGain(c, isRow, idx, isMember)
+	}
+
+	// Under incremental ranking the gain above was read entirely from
+	// anchored pre-toggle state; the toggle below exists only for the
+	// integer constraint checks. Pausing derived-cache maintenance
+	// across it leaves the anchored masses and the evaluation pack
+	// untouched instead of folding, shuffling and bit-restoring them —
+	// the undo still restores membership, order and sums exactly, so
+	// the skipped caches describe the restored state unchanged.
+	if e.cfg.GainMode == GainIncremental {
+		cl.SetSpeculationPaused(true)
 	}
 
 	// Toggle, inspect the outcome, then reverse the toggle *exactly*.
@@ -80,7 +100,7 @@ func (e *engine) evalAction(isRow bool, idx, c int) float64 {
 	}
 	gain := negInf
 	if !e.violatesToggled(c, isMember) {
-		if e.cfg.ApproximateGain {
+		if e.cfg.GainMode == GainIncremental || e.cfg.ApproximateGain {
 			gain = approx
 		} else {
 			newRes := cl.ResidueWith(e.cfg.ResidueMean)
@@ -92,7 +112,82 @@ func (e *engine) evalAction(isRow bool, idx, c int) float64 {
 	} else {
 		cl.UndoColToggle(idx, &e.undo)
 	}
+	if e.cfg.GainMode == GainIncremental {
+		cl.SetSpeculationPaused(false)
+	}
 	return gain
+}
+
+// incrementalGain scores toggling item (isRow, idx) in cluster c from
+// the delta-maintained residue masses (cluster/incremental.go): a
+// removal reads the item's recorded share of the mass in O(1); an
+// insertion scores the incoming entries against the cluster's current
+// bases in O(row)/O(col). The estimator convention matches
+// approximateGain — candidates are judged under the *current* bases —
+// but the O(volume) mass term comes from the maintained absSum
+// instead of an exact rescan, and the masses are re-anchored to exact
+// at every refresh point (every applied action and every iteration
+// boundary), so the mass an estimate reads is never more than one
+// applied action's fold away from the from-scratch value. The exact
+// kernel still scores every *applied* action (engine.apply); this
+// estimate only ranks candidates.
+//
+// deltavet:hotpath — the aggregate-arithmetic replacement for the
+// exact rescan under GainMode incremental; allocation-free like the
+// path it substitutes.
+func (e *engine) incrementalGain(c int, isRow bool, idx int, isMember bool) float64 {
+	cl := e.clusters[c]
+	vol := cl.Volume()
+	mass := cl.ResidueMass()
+	if mass < 0 {
+		// Near-zero masses can dip negative by round-off when a fold
+		// subtracts.
+		mass = 0
+	}
+
+	var contribution float64
+	var cnt int
+	switch {
+	case isMember && isRow:
+		contribution = cl.RowResidueMass(idx)
+		cnt = cl.RowCount(idx)
+	case isMember:
+		contribution = cl.ColResidueMass(idx)
+		cnt = cl.ColCount(idx)
+	case isRow:
+		contribution, cnt = cl.RowInsertionMass(idx, e.cfg.ResidueMean)
+	default:
+		contribution, cnt = cl.ColInsertionMass(idx, e.cfg.ResidueMean)
+	}
+
+	var newRes float64
+	var newVol int
+	if isMember {
+		newVol = vol - cnt
+		if newVol > 0 {
+			m := mass - contribution
+			if m < 0 {
+				m = 0
+			}
+			newRes = m / float64(newVol)
+		}
+	} else {
+		newVol = vol + cnt
+		if newVol > 0 {
+			newRes = (mass + contribution) / float64(newVol)
+		}
+	}
+	nRows, nCols := cl.NumRows(), cl.NumCols()
+	delta := 1
+	if isMember {
+		delta = -1
+	}
+	if isRow {
+		nRows += delta
+	} else {
+		nCols += delta
+	}
+	return e.costs[c] - e.cost(newRes, newVol, nRows, nCols)
 }
 
 // violatesToggled checks the constraints that require the candidate

@@ -110,6 +110,9 @@ func warmStartEngine(m *matrix.Matrix, cfg *Config, ws *WarmStart) (*engine, err
 			return nil, fmt.Errorf("floc: warm-start cluster %d: %w", c, err)
 		}
 		cl.EnablePack()
+		if cfg.GainMode == GainIncremental {
+			cl.EnableResidueAggregates(cfg.ResidueMean)
+		}
 		e.clusters[c] = cl
 	}
 

@@ -67,3 +67,103 @@ func FuzzParseMatrix(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMutationCoherence extends the derived-cache coherence property
+// test (TestDerivedCoherenceUnderAllMutationPaths) into a fuzz
+// target: the input bytes are a little program — two shape bytes,
+// then one mutation op per byte pair — interpreted over every public
+// mutation path with the derived cache live the whole time. After
+// every op, each derived view must match a from-scratch build over
+// the same entries. The checked-in seed corpus
+// (testdata/fuzz/FuzzMutationCoherence) covers every opcode,
+// including the wholesale-invalidation and batch paths.
+func FuzzMutationCoherence(f *testing.F) {
+	f.Add([]byte{5, 4, 0, 10, 1, 3, 2, 0, 3, 9})            // set/miss/mutrow/shift
+	f.Add([]byte{3, 6, 6, 2, 7, 8, 8, 1, 4, 5})             // append/update/mark
+	f.Add([]byte{7, 3, 5, 200, 0, 255, 6, 1, 0, 7, 2, 2})   // scale, NaN value, append
+	f.Add([]byte{4, 4})                                     // shape only, no ops
+	f.Add([]byte{6, 5, 6, 3, 6, 3, 6, 3, 1, 0, 8, 9, 0, 0}) // repeated growth
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) < 2 {
+			return
+		}
+		rows := 3 + int(program[0])%8
+		cols := 3 + int(program[1])%6
+		program = program[2:]
+		// Deterministic value stream derived from the op bytes: a byte
+		// of 255 yields NaN so missing values flow through every path.
+		val := func(b byte) float64 {
+			if b == 255 {
+				return math.NaN()
+			}
+			return float64(int(b)-128) / 7
+		}
+		m := New(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, val(byte(i*31+j*7)))
+			}
+		}
+		// The cache must be live before mutating so every op below
+		// exercises incremental maintenance, not the lazy first-read
+		// build.
+		m.EnsureDerived()
+
+		const maxOps = 64
+		for step := 0; step+1 < len(program) && step/2 < maxOps; step += 2 {
+			op, arg := program[step], program[step+1]
+			i := int(arg) % m.Rows()
+			j := int(arg) % m.Cols()
+			switch op % 9 {
+			case 0:
+				m.Set(i, j, val(arg))
+			case 1:
+				m.SetMissing(i, j)
+			case 2:
+				row := m.MutRow(i)
+				for k := range row {
+					row[k] = val(arg + byte(k))
+				}
+			case 3:
+				m.ShiftRow(i, val(arg))
+			case 4:
+				m.ShiftCol(j, val(arg))
+			case 5:
+				m.ScaleRow(i, 1+float64(arg)/256)
+			case 6:
+				if m.Rows() >= 64 {
+					continue // bound growth; the op stream can repeat appends
+				}
+				n := 1 + int(arg)%3
+				newRows := make([][]float64, n)
+				for r := range newRows {
+					nr := make([]float64, m.Cols())
+					for k := range nr {
+						nr[k] = val(arg + byte(r*5+k))
+					}
+					newRows[r] = nr
+				}
+				if err := m.AppendRows(newRows); err != nil {
+					t.Fatalf("AppendRows: %v", err)
+				}
+			case 7:
+				cells := []Cell{
+					{Row: i, Col: j, Value: val(arg)},
+					{Row: (i + 1) % m.Rows(), Col: (j + 1) % m.Cols(), Value: val(arg + 1)},
+				}
+				if err := m.UpdateCells(cells); err != nil {
+					t.Fatalf("UpdateCells: %v", err)
+				}
+			case 8:
+				refs := []CellRef{{Row: i, Col: j}}
+				if err := m.MarkMissing(refs); err != nil {
+					t.Fatalf("MarkMissing: %v", err)
+				}
+			}
+			checkDerivedCoherent(t, m, step/2)
+			if t.Failed() {
+				t.Fatalf("derived cache incoherent after op %d (opcode %d)", step/2, op%9)
+			}
+		}
+	})
+}

@@ -71,6 +71,14 @@ type FLOCParams struct {
 	Occupancy       float64 `json:"occupancy,omitempty"`
 	ApproximateGain bool    `json:"approximate_gain,omitempty"`
 
+	// GainMode selects the decide phase's scoring tier: "exact" (the
+	// default — bit-identical to the baseline) or "incremental"
+	// (ranks candidates from delta-maintained residue-mass aggregates
+	// in O(row)/O(col); every applied action still runs the exact
+	// kernel). The mode is excluded from checkpoint compatibility, so
+	// a resumed job may switch tiers.
+	GainMode string `json:"gain_mode,omitempty"` // exact | incremental
+
 	// Workers shards each decide phase of the run across this many
 	// goroutines; 0 means all cores. The worker count never affects
 	// the result — runs are bit-identical at any value — so this is
@@ -331,6 +339,17 @@ func (s *Server) buildSpec(req *SubmitRequest) (*runSpec, *apiError) {
 			cfg.SeedMode = floc.SeedAnchored
 		default:
 			return nil, badRequest("floc.seeding = %q, want random | anchored | auto", p.Seeding)
+		}
+		switch p.GainMode {
+		case "", "exact":
+			cfg.GainMode = floc.GainExact
+		case "incremental":
+			cfg.GainMode = floc.GainIncremental
+		default:
+			return nil, badRequest("floc.gain_mode = %q, want exact | incremental", p.GainMode)
+		}
+		if cfg.GainMode == floc.GainIncremental && p.ApproximateGain {
+			return nil, badRequest("floc.gain_mode = %q and floc.approximate_gain are mutually exclusive", p.GainMode)
 		}
 		if p.Attempts < 0 {
 			return nil, badRequest("floc.attempts = %d, want ≥ 0", p.Attempts)

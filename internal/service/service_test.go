@@ -656,6 +656,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad order", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": 5, "order": "chaotic"}}`, "floc.order"},
 		{"negative deadline", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": 5}, "deadline_ms": -1}`, "deadline_ms"},
 		{"negative workers", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": 5, "workers": -2}}`, "floc.workers"},
+		{"bad gain mode", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": 5, "gain_mode": "fast"}}`, "floc.gain_mode"},
+		{"gain mode vs approximate", `{"matrix": {"rows": [[1, 2]]}, "floc": {"k": 1, "delta": 5, "gain_mode": "incremental", "approximate_gain": true}}`, "mutually exclusive"},
 		{"bad tau", `{"algorithm": "clique", "matrix": {"rows": [[1, 2]]}, "clique": {"xi": 5, "tau": 1.5}}`, "clique.tau"},
 	}
 	for _, tc := range cases {
@@ -713,6 +715,34 @@ func TestSubmitWorkersParam(t *testing.T) {
 	max := runtime.GOMAXPROCS(0)
 	if got := build(1 << 20); got != max {
 		t.Errorf("workers=1<<20 → %d, want clamp to GOMAXPROCS (%d)", got, max)
+	}
+}
+
+// TestSubmitGainModeParam checks the floc.gain_mode plumbing: omitted
+// and "exact" both resolve to the exact tier (the default the seed
+// goldens pin), "incremental" reaches the engine config.
+func TestSubmitGainModeParam(t *testing.T) {
+	s := New(Options{Workers: 1, QueueCap: 4})
+	build := func(mode string) floc.GainMode {
+		t.Helper()
+		req := &SubmitRequest{
+			Matrix: MatrixPayload{CSV: "1,2\n3,4\n"},
+			FLOC:   &FLOCParams{K: 1, Delta: 5, GainMode: mode},
+		}
+		spec, aerr := s.buildSpec(req)
+		if aerr != nil {
+			t.Fatalf("buildSpec(gain_mode=%q): %v", mode, aerr)
+		}
+		return spec.floc.GainMode
+	}
+	if got := build(""); got != floc.GainExact {
+		t.Errorf("gain_mode omitted → %q, want %q", got, floc.GainExact)
+	}
+	if got := build("exact"); got != floc.GainExact {
+		t.Errorf("gain_mode=exact → %q, want %q", got, floc.GainExact)
+	}
+	if got := build("incremental"); got != floc.GainIncremental {
+		t.Errorf("gain_mode=incremental → %q, want %q", got, floc.GainIncremental)
 	}
 }
 
