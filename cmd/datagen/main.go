@@ -7,6 +7,7 @@
 //	datagen -rows 3000 -cols 100 -clusters 50 -volume 300 [flags] > matrix.csv
 //	datagen -kind movielens > ratings.csv
 //	datagen -kind yeast -truth truth.txt > microarray.csv
+//	datagen -binary > matrix.dcmx   # deltaserve's zero-copy upload body
 //
 // The ground-truth file holds one embedded cluster per line:
 // "rows=i1,i2,... cols=j1,j2,...".
@@ -34,6 +35,7 @@ func main() {
 		missing  = flag.Float64("missing", 0, "fraction of entries to clear")
 		seed     = flag.Int64("seed", 1, "random seed")
 		truth    = flag.String("truth", "", "write ground-truth cluster file here")
+		bin      = flag.Bool("binary", false, "emit the DCMX binary matrix format instead of CSV (deltaserve's zero-copy upload body)")
 	)
 	flag.Parse()
 
@@ -69,7 +71,11 @@ func main() {
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}
 
-	if err := deltacluster.WriteMatrix(os.Stdout, m, deltacluster.IOOptions{}); err != nil {
+	if *bin {
+		if err := deltacluster.WriteMatrixBinary(os.Stdout, m); err != nil {
+			fatal(err)
+		}
+	} else if err := deltacluster.WriteMatrix(os.Stdout, m, deltacluster.IOOptions{}); err != nil {
 		fatal(err)
 	}
 	if *truth != "" {

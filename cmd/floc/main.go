@@ -10,7 +10,10 @@
 // and cells equal to -missing are missing entries. With -header the
 // first record holds column labels; with -rowlabels the first field
 // of each record is a row label. With -quarantine, malformed records
-// are skipped (reported on stderr) instead of failing the load.
+// are skipped (reported on stderr) instead of failing the load. A file
+// starting with the DCMX magic (datagen -binary, or a deltaserve
+// binary upload body) is loaded through the checksummed binary path
+// instead; the text-dialect flags do not apply to it.
 //
 // # Interruption, checkpoints and resume
 //
@@ -40,6 +43,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -107,21 +111,7 @@ func main() {
 	}
 	defer func() { _ = f.Close() }() // read-only; nothing to recover from a close error
 
-	opts := deltacluster.IOOptions{
-		Header: *header, RowLabels: *rowLabels, MissingToken: *missing,
-		Quarantine: *quarantine,
-	}
-	if *tsv {
-		opts.Comma = '\t'
-	}
-	m, qrep, err := deltacluster.ReadMatrixReport(f, opts)
-	if qrep != nil && len(qrep.Quarantined) > 0 {
-		fmt.Fprintf(os.Stderr, "floc: quarantined %d of %d input records:\n",
-			len(qrep.Quarantined), qrep.Total)
-		for _, q := range qrep.Quarantined {
-			fmt.Fprintf(os.Stderr, "  record %d: %s\n", q.Record, q.Reason)
-		}
-	}
+	m, err := loadMatrix(f, *header, *rowLabels, *missing, *quarantine, *tsv)
 	if err != nil {
 		fatal(err)
 	}
@@ -238,6 +228,33 @@ func main() {
 		os.Exit(3)
 	}
 	report(m, res, cfg, *all, *fingerprint)
+}
+
+// loadMatrix reads the input matrix, sniffing the first bytes for the
+// DCMX magic: a binary matrix (datagen -binary, or a saved deltaserve
+// upload body) loads through the checksummed binary decoder, anything
+// else through the delimited-text reader with the dialect flags.
+func loadMatrix(f *os.File, header, rowLabels bool, missing string, quarantine, tsv bool) (*deltacluster.Matrix, error) {
+	br := bufio.NewReader(f)
+	if sniff, _ := br.Peek(4); string(sniff) == "DCMX" {
+		return deltacluster.ReadMatrixBinary(br, 0)
+	}
+	opts := deltacluster.IOOptions{
+		Header: header, RowLabels: rowLabels, MissingToken: missing,
+		Quarantine: quarantine,
+	}
+	if tsv {
+		opts.Comma = '\t'
+	}
+	m, qrep, err := deltacluster.ReadMatrixReport(br, opts)
+	if qrep != nil && len(qrep.Quarantined) > 0 {
+		fmt.Fprintf(os.Stderr, "floc: quarantined %d of %d input records:\n",
+			len(qrep.Quarantined), qrep.Total)
+		for _, q := range qrep.Quarantined {
+			fmt.Fprintf(os.Stderr, "  record %d: %s\n", q.Record, q.Reason)
+		}
+	}
+	return m, err
 }
 
 // report prints either the human-readable cluster report or, with

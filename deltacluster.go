@@ -89,6 +89,29 @@ func ReadMatrixReport(r io.Reader, opts IOOptions) (*Matrix, *QuarantineReport, 
 // WriteMatrix renders a matrix as delimited text.
 func WriteMatrix(w io.Writer, m *Matrix, opts IOOptions) error { return matrix.Write(w, m, opts) }
 
+// MatrixBinaryContentType is the MIME type of the binary (DCMX) matrix
+// wire format — the Content-Type of deltaserve binary submissions.
+const MatrixBinaryContentType = matrix.BinaryContentType
+
+// EncodeMatrixBinary renders m in the canonical DCMX binary format:
+// versioned, checksummed, with missing entries as canonical NaN bits.
+// Equal matrices encode to equal bytes.
+func EncodeMatrixBinary(m *Matrix) []byte { return matrix.EncodeBinary(m) }
+
+// DecodeMatrixBinary parses and verifies a DCMX section. maxEntries,
+// when positive, bounds rows×cols before any allocation happens.
+func DecodeMatrixBinary(data []byte, maxEntries int) (*Matrix, error) {
+	return matrix.DecodeBinary(data, maxEntries)
+}
+
+// WriteMatrixBinary writes m to w in the DCMX binary format.
+func WriteMatrixBinary(w io.Writer, m *Matrix) error { return matrix.WriteBinary(w, m) }
+
+// ReadMatrixBinary reads and verifies a DCMX section from r.
+func ReadMatrixBinary(r io.Reader, maxEntries int) (*Matrix, error) {
+	return matrix.ReadBinary(r, maxEntries)
+}
+
 // LogTransform converts amplification coherence to shifting coherence
 // by taking the natural logarithm of every specified entry (Section 3
 // of the paper). Entries must be positive.

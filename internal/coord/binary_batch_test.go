@@ -1,0 +1,147 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"deltacluster/internal/matrix"
+	"deltacluster/internal/service"
+)
+
+// fastMatrix is fastSubmit's matrix decoded from the same CSV — the
+// binary tests push identical data through both transports.
+func fastMatrix(t *testing.T) *matrix.Matrix {
+	t.Helper()
+	m, err := matrix.Read(strings.NewReader(synthCSV(t, 120, 18, 3, 70)), matrix.IOOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCoordinatorBinarySubmitProxy: a DSUB submission through the
+// coordinator reaches a backend with the DCMX bytes intact, runs to
+// the same result as the equivalent JSON submission, and the binary
+// result download relays through the coordinator verbatim.
+func TestCoordinatorBinarySubmitProxy(t *testing.T) {
+	cl := startCluster(t, 2, nil, service.Options{Workers: 1, QueueCap: 8})
+
+	jreq := fastSubmit(t)
+	body, err := service.EncodeBinarySubmit(&service.SubmitRequest{
+		Algorithm: service.AlgoFLOC,
+		FLOC:      jreq.FLOC,
+	}, fastMatrix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(cl.ts.URL+"/v1/jobs", service.ContentTypeBinaryMatrix, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := readAll(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("binary submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var sr SubmitResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	binID := sr.Job.ID
+
+	jsonID, _, _ := submitVia(t, cl.ts.URL, jreq)
+	for _, id := range []string{binID, jsonID} {
+		if v := pollDone(t, cl.ts.URL, id, 30*time.Second); v.State != service.StateDone {
+			t.Fatalf("job %s finished %s (error %q), want done", id, v.State, v.Error)
+		}
+	}
+	binRes, jsonRes := fetchResult(t, cl.ts.URL, binID), fetchResult(t, cl.ts.URL, jsonID)
+	if !reflect.DeepEqual(binRes, jsonRes) {
+		t.Fatalf("binary and JSON submissions diverged through the coordinator:\n  binary: %+v\n  json:   %+v", binRes, jsonRes)
+	}
+
+	// The Accept header must pass through: a DRES download via the
+	// coordinator decodes to the same result.
+	req, err := http.NewRequest(http.MethodGet, cl.ts.URL+"/v1/jobs/"+binID+"/result", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", service.ContentTypeBinaryMatrix)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary result: status %d, body %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != service.ContentTypeBinaryMatrix {
+		t.Fatalf("Content-Type = %q, want %q", ct, service.ContentTypeBinaryMatrix)
+	}
+	dres, err := service.DecodeBinaryResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres.DurationMillis = 0
+	if !reflect.DeepEqual(*dres, binRes) {
+		t.Fatalf("DRES download diverged from JSON result:\n  dres: %+v\n  json: %+v", *dres, binRes)
+	}
+}
+
+// TestCoordinatorBatchFanout: a batch through the coordinator routes
+// every item independently across the ring, refusals stay per-item,
+// and each accepted item's result matches an individually submitted
+// copy of the same job.
+func TestCoordinatorBatchFanout(t *testing.T) {
+	cl := startCluster(t, 2, nil, service.Options{Workers: 2, QueueCap: 16})
+
+	status, data := do(t, http.MethodPost, cl.ts.URL+"/v1/jobs:batch", &service.BatchSubmitRequest{})
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, body %s", status, data)
+	}
+
+	bad := service.SubmitRequest{
+		Matrix: service.MatrixPayload{Rows: json.RawMessage(`[[1,2],[3]]`)}, // ragged
+		FLOC:   &service.FLOCParams{K: 1, Delta: 5},
+	}
+	batch := service.BatchSubmitRequest{Jobs: []service.SubmitRequest{
+		*fastSubmit(t), bad, *fastSubmit(t),
+	}}
+	status, data = do(t, http.MethodPost, cl.ts.URL+"/v1/jobs:batch", &batch)
+	if status != http.StatusAccepted {
+		t.Fatalf("batch: status %d, body %s", status, data)
+	}
+	var out service.BatchSubmitResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != 2 || out.Rejected != 1 || len(out.Jobs) != 3 {
+		t.Fatalf("accepted %d rejected %d items %d, want 2/1/3", out.Accepted, out.Rejected, len(out.Jobs))
+	}
+	if item := out.Jobs[1]; item.Status != http.StatusBadRequest || item.Error == nil {
+		t.Fatalf("invalid item outcome %+v, want a relayed 400", item)
+	}
+	if out.Jobs[0].Job.ID == out.Jobs[2].Job.ID {
+		t.Fatalf("batch items share job ID %s", out.Jobs[0].Job.ID)
+	}
+
+	// Every accepted item must equal an individually submitted copy.
+	soloID, _, _ := submitVia(t, cl.ts.URL, fastSubmit(t))
+	if v := pollDone(t, cl.ts.URL, soloID, 30*time.Second); v.State != service.StateDone {
+		t.Fatalf("solo job finished %s, want done", v.State)
+	}
+	soloRes := fetchResult(t, cl.ts.URL, soloID)
+	for _, i := range []int{0, 2} {
+		id := out.Jobs[i].Job.ID
+		if v := pollDone(t, cl.ts.URL, id, 30*time.Second); v.State != service.StateDone {
+			t.Fatalf("batch job %d (%s) finished %s, want done", i, id, v.State)
+		}
+		if res := fetchResult(t, cl.ts.URL, id); !reflect.DeepEqual(res, soloRes) {
+			t.Fatalf("batch item %d diverged from the individually submitted job:\n  batch: %+v\n  solo:  %+v", i, res, soloRes)
+		}
+	}
+}

@@ -49,6 +49,13 @@ type response struct {
 // design (dispatch is keyed by ID, replica PUTs are monotonic), so
 // retrying a write that may or may not have landed is always safe.
 func (c *client) do(ctx context.Context, method, url string, body []byte, contentType string) (*response, error) {
+	return c.doAccept(ctx, method, url, body, contentType, "")
+}
+
+// doAccept is do with an Accept header — used when the client's
+// preferred result encoding (JSON or the binary envelope) must reach
+// the backend so its answer can be relayed verbatim.
+func (c *client) doAccept(ctx context.Context, method, url string, body []byte, contentType, accept string) (*response, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
 		if attempt > 0 {
@@ -56,7 +63,7 @@ func (c *client) do(ctx context.Context, method, url string, body []byte, conten
 				return nil, err
 			}
 		}
-		resp, err := c.once(ctx, method, url, body, contentType)
+		resp, err := c.once(ctx, method, url, body, contentType, accept)
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
@@ -73,7 +80,7 @@ func (c *client) do(ctx context.Context, method, url string, body []byte, conten
 	return nil, fmt.Errorf("%s %s: giving up after %d attempts: %w", method, url, c.maxAttempts, lastErr)
 }
 
-func (c *client) once(ctx context.Context, method, url string, body []byte, contentType string) (*response, error) {
+func (c *client) once(ctx context.Context, method, url string, body []byte, contentType, accept string) (*response, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -84,6 +91,9 @@ func (c *client) once(ctx context.Context, method, url string, body []byte, cont
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

@@ -7,6 +7,9 @@
 // and the final clustering is bit-identical to an uninterrupted run.
 //
 //	POST   /v1/jobs                  route + dispatch    → 202 (+warning when degraded)
+//	                                 (JSON, or a binary DSUB envelope whose DCMX
+//	                                 matrix section is proxied byte for byte)
+//	POST   /v1/jobs:batch            per-item routing fan-out across the ring → 202
 //	GET    /v1/jobs/{id}             proxied status      → 200
 //	GET    /v1/jobs/{id}/result      proxied result      → 200
 //	PATCH  /v1/jobs/{id}/matrix      proxied deltastream patch, recorded for rebuilds → 200
@@ -31,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -204,6 +208,14 @@ type job struct {
 	patches       []service.MatrixPatchRequest
 	matrixVersion int
 	finalCkPulled bool // the done-boundary checkpoint reached the replicas
+
+	// binMatrix holds the DCMX section of a binary submission, exactly
+	// as the client sent it. Every (re)dispatch — initial, migration,
+	// recluster rebuild — forwards these bytes verbatim inside a DSUB
+	// envelope; the receiving backend re-verifies the section checksum,
+	// so no hop can corrupt the matrix silently. Nil for JSON jobs,
+	// whose matrix lives in submit itself.
+	binMatrix []byte
 }
 
 // dispatchID is the backend-side job ID for the given migration epoch:
@@ -275,6 +287,7 @@ func New(opts Options) (*Coordinator, error) {
 
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	c.mux.HandleFunc("POST /v1/jobs:batch", c.handleBatch)
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
 	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
@@ -387,13 +400,15 @@ func (c *Coordinator) placement(id string) (owner string, peers []string, shortf
 	return owner, peers, c.opts.Replication - len(peers)
 }
 
-// handleSubmit routes a client submission: mint an ID, dispatch to the
-// ring owner (falling over to the next ready backend if the owner
-// refuses), replicate the job's metadata to peer backends, and answer
-// 202 — with a warning instead of an error when the replication
-// target cannot be met. Total unavailability (no backend accepts) is
-// the only 5xx path.
+// handleSubmit routes a client submission. A JSON body is decoded
+// here; a binary (DSUB) body branches to handleSubmitBinary, which
+// peels the params off the envelope and leaves the DCMX section as
+// opaque bytes to proxy. Both paths converge on submitOne.
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		c.handleSubmitBinary(w, r)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, c.opts.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -408,34 +423,93 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, service.CodeInvalidRequest, "decoding request: %v", err)
 		return
 	}
+	c.respondSubmit(w, c.submitOne(r.Context(), req, nil))
+}
 
-	if c.routingFull() {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, service.CodeQueueFull,
-			"coordinator routing table is full (%d jobs); retry later", c.opts.MaxJobs)
+// handleSubmitBinary is the binary branch of POST /v1/jobs: the DSUB
+// envelope's framing and params checksum are verified here (a corrupt
+// request dies at the front door), but the DCMX matrix section is
+// never opened — it is proxied byte for byte and the executing backend
+// verifies its checksum.
+func (c *Coordinator) handleSubmitBinary(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, c.opts.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, service.CodeInvalidRequest,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, service.CodeInvalidRequest, "reading request body: %v", err)
 		return
+	}
+	req, dcmx, err := service.DecodeBinarySubmit(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, service.CodeInvalidRequest, "binary submit: %v", err)
+		return
+	}
+	c.respondSubmit(w, c.submitOne(r.Context(), *req, dcmx))
+}
+
+// isBinaryContentType matches the binary submission MIME type,
+// tolerating parameters after it — the coordinator-side mirror of the
+// service's check.
+func isBinaryContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == service.ContentTypeBinaryMatrix
+}
+
+// submitOutcome is submitOne's verdict on one submission: an accepted
+// job's view (plus degradation warning), or a refusal carrying either
+// a synthesized error or a backend 4xx to relay.
+type submitOutcome struct {
+	ok      bool
+	id      string
+	view    service.JobView
+	warning string
+
+	status  int       // refusal: standalone HTTP status
+	code    string    // refusal: error code (when relay is nil)
+	message string    // refusal: error message (when relay is nil)
+	relay   *response // refusal: backend 4xx answered verbatim
+}
+
+// submitOne routes one submission end to end: mint an ID, dispatch to
+// the ring owner (falling over to the next ready backend if the owner
+// refuses), replicate the job's metadata to peer backends, and record
+// the routing entry. dcmx, when non-nil, is the client's DCMX matrix
+// section; it rides the dispatch verbatim inside a DSUB envelope and
+// is retained on the routing entry so migrations and rebuilds can
+// forward the same bytes. Total unavailability (no backend accepts)
+// is the only 5xx path.
+func (c *Coordinator) submitOne(ctx context.Context, req service.SubmitRequest, dcmx []byte) submitOutcome {
+	if c.routingFull() {
+		return submitOutcome{status: http.StatusTooManyRequests, code: service.CodeQueueFull,
+			message: fmt.Sprintf("coordinator routing table is full (%d jobs); retry later", c.opts.MaxJobs)}
 	}
 
 	id := c.mintID()
 	owner, peers, shortfall := c.placement(id)
 	if owner == "" {
-		writeError(w, http.StatusServiceUnavailable, codeNoBackends, "no ready backends")
-		return
+		return submitOutcome{status: http.StatusServiceUnavailable, code: codeNoBackends, message: "no ready backends"}
 	}
 
 	// Dispatch to the owner; if it refuses at the transport level, walk
 	// the rest of the preference list before giving up. A 4xx is final:
 	// the spec itself is bad and is relayed verbatim.
-	body, err := json.Marshal(service.DispatchRequest{ID: id, Submit: req})
+	body, contentType, err := encodeDispatch(service.DispatchRequest{ID: id, Submit: req}, dcmx)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, service.CodeInternal, "encoding dispatch: %v", err)
-		return
+		return submitOutcome{status: http.StatusInternalServerError, code: service.CodeInternal,
+			message: fmt.Sprintf("encoding dispatch: %v", err)}
 	}
 	candidates := append([]string{owner}, peers...)
 	var resp *response
 	var dispatchedTo string
 	for _, name := range candidates {
-		resp, err = c.client.do(r.Context(), http.MethodPost, name+"/v1/internal/jobs", body, "application/json")
+		resp, err = c.client.do(ctx, http.MethodPost, name+"/v1/internal/jobs", body, contentType)
 		if err != nil {
 			c.logf("coord: dispatch %s to %s: %v", id, name, err)
 			c.noteCallFailure(name)
@@ -445,29 +519,28 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		break
 	}
 	if resp == nil {
-		writeError(w, http.StatusBadGateway, codeNoBackends,
-			"no backend accepted job %s: %v", id, err)
-		return
+		return submitOutcome{status: http.StatusBadGateway, code: codeNoBackends,
+			message: fmt.Sprintf("no backend accepted job %s: %v", id, err)}
 	}
 	if resp.status != http.StatusAccepted && resp.status != http.StatusOK {
-		relay(w, resp)
-		return
+		return submitOutcome{status: resp.status, relay: resp}
 	}
 	var dr service.DispatchResponse
 	if err := json.Unmarshal(resp.body, &dr); err != nil {
-		writeError(w, http.StatusBadGateway, service.CodeInternal,
-			"backend %s returned an unreadable dispatch response: %v", dispatchedTo, err)
-		return
+		return submitOutcome{status: http.StatusBadGateway, code: service.CodeInternal,
+			message: fmt.Sprintf("backend %s returned an unreadable dispatch response: %v", dispatchedTo, err)}
 	}
 
 	// Replicate the job's metadata to the peer set. Failures degrade,
-	// never fail: the job is already running.
+	// never fail: the job is already running. Binary jobs replicate a
+	// matrix-less submit — their matrix integrity on failover rests on
+	// the retained DCMX bytes and the replicated checkpoint's MatrixSum.
 	placed := 0
 	for _, peer := range peers {
 		if peer == dispatchedTo {
 			continue
 		}
-		if c.putMetaReplica(r.Context(), peer, id, &req) {
+		if c.putMetaReplica(ctx, peer, id, &req) {
 			placed++
 		} else {
 			c.noteCallFailure(peer)
@@ -500,22 +573,149 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		lastView:    view,
 		degraded:    missing > 0,
 		lineageRoot: id,
+		binMatrix:   dcmx,
 	}
 	c.mu.Lock()
 	c.jobs[id] = j
 	c.mu.Unlock()
 
 	c.metrics.jobRouted()
-	out := SubmitResponse{Job: view}
+	out := submitOutcome{ok: true, id: id, view: view}
 	if missing > 0 {
 		c.metrics.jobDegraded()
-		out.Warning = fmt.Sprintf(
+		out.warning = fmt.Sprintf(
 			"replication degraded: %d of %d replica(s) placed; the job runs, but failover headroom is reduced",
 			c.opts.Replication-missing, c.opts.Replication)
+	}
+	return out
+}
+
+// encodeDispatch renders a DispatchRequest for the wire: plain JSON
+// for JSON-submitted jobs, a DSUB envelope carrying the original DCMX
+// bytes verbatim for binary ones.
+func encodeDispatch(dreq service.DispatchRequest, dcmx []byte) (body []byte, contentType string, err error) {
+	if len(dcmx) > 0 {
+		body, err = service.EncodeBinaryDispatch(&dreq, dcmx)
+		return body, service.ContentTypeBinaryMatrix, err
+	}
+	body, err = json.Marshal(dreq)
+	return body, "application/json", err
+}
+
+// respondSubmit renders a submitOne outcome as the standalone POST
+// /v1/jobs answer.
+func (c *Coordinator) respondSubmit(w http.ResponseWriter, out submitOutcome) {
+	if !out.ok {
+		if out.relay != nil {
+			relay(w, out.relay)
+			return
+		}
+		if out.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, out.status, out.code, "%s", out.message)
+		return
+	}
+	resp := SubmitResponse{Job: out.view, Warning: out.warning}
+	if out.warning != "" {
 		w.Header().Set("X-Deltaserve-Degraded", "replication")
 	}
-	w.Header().Set("Location", "/v1/jobs/"+id)
-	writeJSON(w, http.StatusAccepted, out)
+	w.Header().Set("Location", "/v1/jobs/"+out.id)
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleBatch is POST /v1/jobs:batch: the service's batch surface at
+// cluster scope. Each item routes independently through submitOne, so
+// one batch fans out across the ring — every minted ID hashes to its
+// own owner — and a refused item (bad spec, full routing table, no
+// backend) never poisons its neighbors. Batches are JSON-only; binary
+// submissions carry one matrix each.
+func (c *Coordinator) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		writeError(w, http.StatusUnsupportedMediaType, service.CodeInvalidRequest,
+			"batch submissions are JSON-only; binary submissions carry one matrix each")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, c.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req service.BatchSubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, service.CodeInvalidRequest,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, service.CodeInvalidRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, service.CodeInvalidRequest, "batch: jobs is empty")
+		return
+	}
+	if len(req.Jobs) > service.MaxBatchJobs {
+		writeError(w, http.StatusBadRequest, service.CodeInvalidRequest,
+			"batch carries %d jobs; the server caps batches at %d", len(req.Jobs), service.MaxBatchJobs)
+		return
+	}
+
+	resp := service.BatchSubmitResponse{Jobs: make([]service.BatchItemView, len(req.Jobs))}
+	sawQueueFull, sawUnavailable, degraded := false, false, false
+	for i := range req.Jobs {
+		item := &resp.Jobs[i]
+		item.Index = i
+		out := c.submitOne(r.Context(), req.Jobs[i], nil)
+		if out.ok {
+			item.Status = http.StatusAccepted
+			view := out.view
+			item.Job = &view
+			resp.Accepted++
+			if out.warning != "" {
+				degraded = true
+			}
+			continue
+		}
+		item.Status = out.status
+		item.Error = batchItemError(out)
+		resp.Rejected++
+		switch {
+		case out.status == http.StatusTooManyRequests:
+			sawQueueFull = true
+		case out.status >= http.StatusInternalServerError:
+			sawUnavailable = true
+		}
+	}
+
+	status := http.StatusAccepted
+	if resp.Accepted == 0 {
+		switch {
+		case sawQueueFull:
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		case sawUnavailable:
+			status = http.StatusServiceUnavailable
+		default:
+			status = http.StatusBadRequest
+		}
+	} else if degraded {
+		w.Header().Set("X-Deltaserve-Degraded", "replication")
+	}
+	writeJSON(w, status, resp)
+}
+
+// batchItemError renders a refusal as a per-item error detail: the
+// backend's own error body when the refusal was a relayed 4xx, the
+// synthesized coordinator error otherwise.
+func batchItemError(out submitOutcome) *service.ErrorDetail {
+	if out.relay != nil {
+		var eb service.ErrorBody
+		if json.Unmarshal(out.relay.body, &eb) == nil && eb.Error.Message != "" {
+			return &eb.Error
+		}
+		return &service.ErrorDetail{Code: service.CodeInvalidRequest, Message: string(out.relay.body)}
+	}
+	return &service.ErrorDetail{Code: out.code, Message: out.message}
 }
 
 func replicasWithout(peers []string, name string) []string {
@@ -610,7 +810,9 @@ func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResult proxies the final result from the current owner. The
-// result body carries no job ID, so it is relayed verbatim.
+// result body carries no job ID, so it is relayed verbatim — and the
+// client's Accept header is forwarded, so a binary (DRES) download
+// negotiated with the backend passes through untouched.
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	ref, ok := c.ref(id)
@@ -618,8 +820,8 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, service.CodeNotFound, "no job %q (unknown or expired)", id)
 		return
 	}
-	resp, err := c.client.do(r.Context(), http.MethodGet,
-		ref.owner+"/v1/jobs/"+dispatchID(ref.id, ref.epoch)+"/result", nil, "")
+	resp, err := c.client.doAccept(r.Context(), http.MethodGet,
+		ref.owner+"/v1/jobs/"+dispatchID(ref.id, ref.epoch)+"/result", nil, "", r.Header.Get("Accept"))
 	if err != nil {
 		c.noteCallFailure(ref.owner)
 		writeError(w, http.StatusBadGateway, codeBackendDown,

@@ -54,6 +54,7 @@ func (c *Coordinator) migrate(ctx context.Context, id string) {
 	patches := append([]service.MatrixPatchRequest(nil), j.patches...)
 	warm := j.warm
 	parentID := j.parentID
+	binMatrix := j.binMatrix
 	oldOwnerDown := c.backends[oldOwner] != nil && c.backends[oldOwner].state == stateDown
 	c.mu.Unlock()
 
@@ -88,18 +89,21 @@ func (c *Coordinator) migrate(ctx context.Context, id string) {
 		}
 	}
 
-	body, err := json.Marshal(service.DispatchRequest{
+	// A binary job re-dispatches the client's original DCMX bytes in a
+	// DSUB envelope; a JSON job re-dispatches as JSON. Either way the
+	// checkpoint, patches and submission ride the same DispatchRequest.
+	body, contentType, err := encodeDispatch(service.DispatchRequest{
 		ID:                  dispatchID(id, epoch+1),
 		ResumeCheckpoint:    resume,
 		WarmStartCheckpoint: warmCk,
 		Patches:             patches,
 		Submit:              submit,
-	})
+	}, binMatrix)
 	if err != nil {
 		c.metrics.migrationFailed()
 		return
 	}
-	resp, err := c.client.do(ctx, http.MethodPost, newOwner+"/v1/internal/jobs", body, "application/json")
+	resp, err := c.client.do(ctx, http.MethodPost, newOwner+"/v1/internal/jobs", body, contentType)
 	if err != nil {
 		c.metrics.migrationFailed()
 		c.noteCallFailure(newOwner)

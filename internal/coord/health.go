@@ -35,7 +35,7 @@ func (c *Coordinator) probeLoop(ctx context.Context) {
 // loop itself is the retry) with the client's per-request timeout.
 func (c *Coordinator) probeAll(ctx context.Context) {
 	for _, name := range c.ring.names {
-		resp, err := c.client.once(ctx, http.MethodGet, name+"/readyz", nil, "")
+		resp, err := c.client.once(ctx, http.MethodGet, name+"/readyz", nil, "", "")
 		if ctx.Err() != nil {
 			return
 		}

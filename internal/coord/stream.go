@@ -176,6 +176,7 @@ type lineageRef struct {
 	submit      service.SubmitRequest
 	patches     []service.MatrixPatchRequest
 	replicas    []string
+	binMatrix   []byte
 }
 
 func (c *Coordinator) lineageRef(id string) (lineageRef, bool) {
@@ -200,6 +201,7 @@ func (c *Coordinator) lineageRef(id string) (lineageRef, bool) {
 		submit:      j.submit,
 		patches:     append([]service.MatrixPatchRequest(nil), j.patches...),
 		replicas:    append([]string(nil), j.replicas...),
+		binMatrix:   j.binMatrix,
 	}, true
 }
 
@@ -279,17 +281,20 @@ func (c *Coordinator) reclusterViaFallback(ctx context.Context, w http.ResponseW
 		writeError(w, http.StatusServiceUnavailable, codeNoBackends, "no ready backends")
 		return
 	}
-	body, err := json.Marshal(service.DispatchRequest{
+	// A binary lineage rebuilds from the root's retained DCMX bytes —
+	// the patches replay on top of the decoded binary matrix exactly as
+	// they would on a JSON one.
+	body, contentType, err := encodeDispatch(service.DispatchRequest{
 		ID:                  childID,
 		Submit:              pref.submit,
 		Patches:             pref.patches,
 		WarmStartCheckpoint: ck,
-	})
+	}, pref.binMatrix)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, service.CodeInternal, "encoding dispatch: %v", err)
 		return
 	}
-	resp, err := c.client.do(ctx, http.MethodPost, newOwner+"/v1/internal/jobs", body, "application/json")
+	resp, err := c.client.do(ctx, http.MethodPost, newOwner+"/v1/internal/jobs", body, contentType)
 	if err != nil {
 		c.noteCallFailure(newOwner)
 		writeError(w, http.StatusBadGateway, codeNoBackends,
@@ -347,6 +352,7 @@ func (c *Coordinator) registerChild(pref lineageRef, childID, owner string, repl
 		warm:          true,
 		patches:       append([]service.MatrixPatchRequest(nil), pref.patches...),
 		matrixVersion: len(pref.patches),
+		binMatrix:     pref.binMatrix,
 	}
 	c.mu.Lock()
 	c.jobs[childID] = j

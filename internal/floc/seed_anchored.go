@@ -36,6 +36,9 @@ func anchoredSeeds(m *matrix.Matrix, cfg *Config, rng *stats.RNG, costOf func(cl
 	var cands []candidate
 	diffs := make([]float64, 0, m.Cols())
 	offsets := make([]float64, 0, m.Cols())
+	carveCols := make([]int, 0, m.Cols())
+	carveRows := make([]int, 0, m.Rows())
+	scr := newSeedScratch(m)
 	for a := 0; a < attempts; a++ {
 		i1 := rng.Intn(m.Rows())
 		i2 := rng.Intn(m.Rows())
@@ -63,7 +66,7 @@ func anchoredSeeds(m *matrix.Matrix, cfg *Config, rng *stats.RNG, costOf func(cl
 		if count < minCols {
 			continue
 		}
-		var cols []int
+		cols := carveCols[:0]
 		for j := 0; j < m.Cols(); j++ {
 			if math.IsNaN(row1[j]) || math.IsNaN(row2[j]) {
 				continue
@@ -80,7 +83,7 @@ func anchoredSeeds(m *matrix.Matrix, cfg *Config, rng *stats.RNG, costOf func(cl
 		// qualifies when most of its offsets against the anchor clump
 		// within 2δ of their densest window (a trimmed criterion, so a
 		// few accidental columns in the carve cannot veto true rows).
-		var rows []int
+		rows := carveRows[:0]
 		need := maxInt(minCols, (2*len(cols)+2)/3)
 		for r := 0; r < m.Rows(); r++ {
 			rowR := m.RowView(r)
@@ -100,7 +103,7 @@ func anchoredSeeds(m *matrix.Matrix, cfg *Config, rng *stats.RNG, costOf func(cl
 		if len(rows) < minRows {
 			continue
 		}
-		rows, cols = refineCandidate(m, rows, cols, delta, minRows, minCols)
+		rows, cols = scr.refine(m, rows, cols, delta, minRows, minCols)
 		if len(rows) < minRows || len(cols) < minCols {
 			continue
 		}
@@ -153,20 +156,60 @@ func anchoredSeeds(m *matrix.Matrix, cfg *Config, rng *stats.RNG, costOf func(cl
 	return clusters
 }
 
-// refineCandidate alternates two rounds of column and row re-selection
-// over the *whole* matrix against the candidate's additive fit. The
-// pair carve is noisy — accidental columns slip into the clump window
-// and, at mild contrast, background columns can outnumber the true
-// clump — but once an approximate row set exists, per-column and
-// per-row mean absolute deviations from the two-way additive model
-// separate members from background far more sharply than any pairwise
-// statistic, so two rounds reach the coherent fixed point.
+// seedScratch holds the buffers candidate refinement reuses across the
+// seeding loop's attempts. Refinement runs once per surviving attempt
+// — hundreds of times per engine run — and its temporaries dominated
+// the engine's allocation profile when allocated per call, so they are
+// hoisted here and sized to the matrix once. Row offsets live in a
+// matrix-row-indexed slice rather than the map a fresh-per-call
+// implementation would use; entries for the current row set are zeroed
+// before each fill, reproducing the map's zero-for-absent reads.
+type seedScratch struct {
+	colAdj []float64 // per-column mean adjustment for the current rows
+	colCnt []int     // per-column member count behind colAdj
+	rowOff []float64 // per-row robust offset, valid for the current rows
+	devBuf []float64 // per-row deviation sort buffer
+	cols   []int     // refined column set, reused across rounds and calls
+	rows   []int     // refined row set, reused across rounds and calls
+}
+
+func newSeedScratch(m *matrix.Matrix) *seedScratch {
+	return &seedScratch{
+		colAdj: make([]float64, m.Cols()),
+		colCnt: make([]int, m.Cols()),
+		rowOff: make([]float64, m.Rows()),
+		devBuf: make([]float64, 0, m.Cols()),
+		cols:   make([]int, 0, m.Cols()),
+		rows:   make([]int, 0, m.Rows()),
+	}
+}
+
+// refineCandidate is the standalone form of seedScratch.refine for
+// one-off callers (tests); the seeding loop reuses a single scratch.
 func refineCandidate(m *matrix.Matrix, rows, cols []int, delta float64, minRows, minCols int) ([]int, []int) {
+	return newSeedScratch(m).refine(m, rows, cols, delta, minRows, minCols)
+}
+
+// refine alternates two rounds of column and row re-selection over the
+// *whole* matrix against the candidate's additive fit. The pair carve
+// is noisy — accidental columns slip into the clump window and, at
+// mild contrast, background columns can outnumber the true clump — but
+// once an approximate row set exists, per-column and per-row mean
+// absolute deviations from the two-way additive model separate members
+// from background far more sharply than any pairwise statistic, so two
+// rounds reach the coherent fixed point.
+//
+// The returned slices are backed by the scratch and stay valid only
+// until the next refine call; callers keeping a result must copy it
+// (cluster.FromSpec copies on construction).
+func (scr *seedScratch) refine(m *matrix.Matrix, rows, cols []int, delta float64, minRows, minCols int) ([]int, []int) {
 	for round := 0; round < 2; round++ {
 		// Column adjustments from the current rows: c_j is column j's
 		// mean over member rows relative to the overall level.
-		colAdj := make([]float64, m.Cols())
-		colCnt := make([]int, m.Cols())
+		colAdj := scr.colAdj
+		colCnt := scr.colCnt
+		clear(colAdj)
+		clear(colCnt)
 		grand, grandN := 0.0, 0
 		for _, i := range rows {
 			row := m.RowView(i)
@@ -195,8 +238,13 @@ func refineCandidate(m *matrix.Matrix, rows, cols []int, delta float64, minRows,
 
 		// Row offsets against the current columns, computed robustly
 		// (median) so a stray background column cannot poison them.
-		rowOffV := make(map[int]float64, len(rows))
-		devBuf := make([]float64, 0, len(cols))
+		// Rows whose columns are all missing keep offset 0, like the
+		// absent map keys they once were.
+		rowOffV := scr.rowOff
+		for _, i := range rows {
+			rowOffV[i] = 0
+		}
+		devBuf := scr.devBuf
 		for _, i := range rows {
 			row := m.RowView(i)
 			devBuf = devBuf[:0]
@@ -216,8 +264,10 @@ func refineCandidate(m *matrix.Matrix, rows, cols []int, delta float64, minRows,
 		// from the rows' offsets. Junk columns admitted by the pair
 		// carve are glaring here (background-sized deviation), and
 		// they must go before rows are scored, or their deviation
-		// would reject every true row.
-		var newCols []int
+		// would reject every true row. In round two cols aliases
+		// scr.cols; the selection reads only rows and rowOffV, so
+		// appending over the old set in place is safe.
+		newCols := scr.cols[:0]
 		for j := 0; j < m.Cols(); j++ {
 			mean, n := 0.0, 0
 			for _, i := range rows {
@@ -246,8 +296,10 @@ func refineCandidate(m *matrix.Matrix, rows, cols []int, delta float64, minRows,
 		cols = newCols
 
 		// Re-select rows on the refined columns: a row joins when its
-		// offset-corrected mean absolute deviation is within δ.
-		var newRows []int
+		// offset-corrected mean absolute deviation is within δ. Like
+		// newCols above, rows is not read here, so scr.rows can be
+		// rebuilt in place.
+		newRows := scr.rows[:0]
 		for i := 0; i < m.Rows(); i++ {
 			row := m.RowView(i)
 			off, n := 0.0, 0

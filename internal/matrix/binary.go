@@ -1,0 +1,141 @@
+package matrix
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary matrix framing — the wire format of the service's
+// application/x-deltacluster-matrix transport. It reuses the DCKP
+// checkpoint discipline from internal/floc: a fixed magic, a version,
+// an explicit payload length, and a SHA-256 checksum over the payload,
+// all little-endian, so corruption and truncation are detected before
+// any byte of the payload is interpreted.
+//
+//	offset  size          field
+//	0       4             magic "DCMX"
+//	4       4             format version (uint32, currently 1)
+//	8       8             payload length n (uint64)
+//	16      n             payload
+//	16+n    32            SHA-256 of payload
+//
+//	payload = rows uint64 | cols uint64 | rows*cols float64 bits,
+//	          row-major
+//
+// Missing entries travel as the canonical quiet NaN (the bit pattern
+// of math.NaN()); EncodeBinary normalizes every NaN payload to it so
+// equal matrices encode to equal bytes. Labels are not carried — the
+// binary transport exists for bulk numeric ingest, and the service's
+// JSON/CSV paths don't surface labels either.
+const (
+	binaryMagic   = "DCMX"
+	binaryVersion = 1
+
+	// binaryHeaderLen is magic + version + payload length.
+	binaryHeaderLen = 16
+)
+
+// BinaryContentType is the MIME type of the binary matrix encoding.
+const BinaryContentType = "application/x-deltacluster-matrix"
+
+// EncodeBinary renders m in the DCMX binary format. The encoding is
+// canonical: equal matrices (same shape, same specified values, same
+// missing set) produce identical bytes.
+func EncodeBinary(m *Matrix) []byte {
+	n := 16 + 8*m.rows*m.cols
+	buf := make([]byte, 0, binaryHeaderLen+n+sha256.Size)
+	buf = append(buf, binaryMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, binaryVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.rows))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.cols))
+	nan := math.Float64bits(math.NaN())
+	for _, v := range m.data {
+		bits := math.Float64bits(v)
+		if v != v { // normalize every NaN to the canonical missing marker
+			bits = nan
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, bits)
+	}
+	sum := sha256.Sum256(buf[binaryHeaderLen : binaryHeaderLen+n])
+	return append(buf, sum[:]...)
+}
+
+// DecodeBinary parses a DCMX-framed matrix. Framing is verified before
+// the payload is touched: magic, version, declared length against the
+// actual data, then the checksum. A positive maxEntries bounds
+// rows*cols and is enforced before the matrix is allocated, so a
+// hostile header cannot force a huge allocation. Infinite values are
+// rejected (the matrix must be finite, as with text ingest); any NaN
+// bit pattern decodes as missing.
+func DecodeBinary(data []byte, maxEntries int) (*Matrix, error) {
+	if len(data) < binaryHeaderLen || string(data[:4]) != binaryMagic {
+		return nil, fmt.Errorf("matrix: not a binary matrix (bad magic)")
+	}
+	version := binary.LittleEndian.Uint32(data[4:8])
+	if version != binaryVersion {
+		return nil, fmt.Errorf("matrix: unsupported binary matrix version %d", version)
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	if uint64(len(data)-binaryHeaderLen) < n || len(data)-binaryHeaderLen-int(n) < sha256.Size {
+		return nil, fmt.Errorf("matrix: binary matrix truncated")
+	}
+	if len(data) != binaryHeaderLen+int(n)+sha256.Size {
+		return nil, fmt.Errorf("matrix: %d trailing bytes after binary matrix", len(data)-binaryHeaderLen-int(n)-sha256.Size)
+	}
+	payload := data[binaryHeaderLen : binaryHeaderLen+int(n)]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[binaryHeaderLen+int(n):]) {
+		return nil, fmt.Errorf("matrix: binary matrix checksum mismatch")
+	}
+	if n < 16 {
+		return nil, fmt.Errorf("matrix: binary matrix payload too short for dimensions")
+	}
+	rows := binary.LittleEndian.Uint64(payload[0:8])
+	cols := binary.LittleEndian.Uint64(payload[8:16])
+	// The payload is already in memory, so entries ≤ len(payload)/8
+	// always fits an int — but the dimensions must multiply out to
+	// exactly the bytes present before anything is allocated. The
+	// per-dimension bound keeps rows*cols from overflowing uint64.
+	entries := (n - 16) / 8
+	if rows >= 1<<31 || cols >= 1<<31 {
+		return nil, fmt.Errorf("matrix: binary matrix declares implausible dimensions %dx%d", rows, cols)
+	}
+	if (n-16)%8 != 0 || rows*cols != entries {
+		return nil, fmt.Errorf("matrix: binary matrix declares %dx%d but payload holds %d entries", rows, cols, entries)
+	}
+	if maxEntries > 0 && entries > uint64(maxEntries) {
+		return nil, fmt.Errorf("matrix is %dx%d = %d entries; capped at %d", rows, cols, entries, maxEntries)
+	}
+	vals := make([]float64, entries)
+	for i := range vals {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[16+8*i:]))
+		if math.IsInf(v, 0) {
+			return nil, fmt.Errorf("matrix: binary matrix entry %d is not finite", i)
+		}
+		vals[i] = v
+	}
+	return &Matrix{rows: int(rows), cols: int(cols), data: vals}, nil
+}
+
+// WriteBinary writes m to w in the DCMX format.
+func WriteBinary(w io.Writer, m *Matrix) error {
+	if _, err := w.Write(EncodeBinary(m)); err != nil {
+		return fmt.Errorf("matrix: writing binary matrix: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary reads one DCMX-framed matrix from r (consuming r to EOF).
+// maxEntries ≤ 0 means unlimited.
+func ReadBinary(r io.Reader, maxEntries int) (*Matrix, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: reading binary matrix: %w", err)
+	}
+	return DecodeBinary(data, maxEntries)
+}

@@ -1,0 +1,221 @@
+package matrix
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+func binaryTestMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	m := New(4, 3)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*10+j)-5.5)
+		}
+	}
+	m.SetMissing(1, 2)
+	m.SetMissing(3, 0)
+	return m
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := binaryTestMatrix(t)
+	data := EncodeBinary(m)
+	got, err := DecodeBinary(data, 0)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if got.Rows() != m.Rows() || got.Cols() != m.Cols() {
+		t.Fatalf("decoded shape %dx%d, want %dx%d", got.Rows(), got.Cols(), m.Rows(), m.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if got.IsSpecified(i, j) != m.IsSpecified(i, j) {
+				t.Fatalf("entry (%d,%d) specified mismatch", i, j)
+			}
+			if m.IsSpecified(i, j) && got.Get(i, j) != m.Get(i, j) {
+				t.Fatalf("entry (%d,%d) = %v, want %v", i, j, got.Get(i, j), m.Get(i, j))
+			}
+		}
+	}
+}
+
+func TestBinaryEncodingIsCanonical(t *testing.T) {
+	m := binaryTestMatrix(t)
+	// A decoded copy must re-encode to identical bytes even though its
+	// missing entries may carry a different NaN payload internally.
+	data := EncodeBinary(m)
+	got, err := DecodeBinary(data, 0)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	// Poke a non-canonical NaN into the copy's missing slot.
+	got.data[1*3+2] = math.Float64frombits(0x7FF8_0000_0000_BEEF)
+	if !bytes.Equal(EncodeBinary(got), data) {
+		t.Fatalf("re-encoding a decoded matrix changed the bytes")
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	for _, shape := range [][2]int{{0, 0}, {0, 5}, {3, 0}} {
+		m := New(shape[0], shape[1])
+		got, err := DecodeBinary(EncodeBinary(m), 0)
+		if err != nil {
+			t.Fatalf("%dx%d: DecodeBinary: %v", shape[0], shape[1], err)
+		}
+		if got.Rows() != shape[0] || got.Cols() != shape[1] {
+			t.Fatalf("decoded shape %dx%d, want %dx%d", got.Rows(), got.Cols(), shape[0], shape[1])
+		}
+	}
+}
+
+func TestDecodeBinaryRejectsCorruption(t *testing.T) {
+	real := EncodeBinary(binaryTestMatrix(t))
+
+	badVersion := append([]byte(nil), real...)
+	binary.LittleEndian.PutUint32(badVersion[4:8], 99)
+	badSum := append([]byte(nil), real...)
+	badSum[len(badSum)-1] ^= 0x01
+	flippedCell := append([]byte(nil), real...)
+	flippedCell[binaryHeaderLen+16] ^= 0x40 // corrupt a data byte, checksum now stale
+	hugeLen := append([]byte(nil), real...)
+	binary.LittleEndian.PutUint64(hugeLen[8:16], 1<<60)
+	hugeDims := append([]byte(nil), real...)
+	binary.LittleEndian.PutUint64(hugeDims[binaryHeaderLen:], 1<<40) // rows — checksum also stale
+	wrongDims := EncodeBinary(binaryTestMatrix(t))
+	binary.LittleEndian.PutUint64(wrongDims[binaryHeaderLen:], 6) // 6x3 ≠ 12 entries, checksum stale
+	inf := binaryTestMatrix(t)
+	inf.data[0] = math.Inf(1)
+	withInf := EncodeBinary(inf)
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "bad magic"},
+		{"magic only", []byte("DCMX"), "bad magic"},
+		{"bad magic", append([]byte("JUNK"), real[4:]...), "bad magic"},
+		{"truncated header", real[:15], "bad magic"},
+		{"truncated payload", real[:len(real)-40], "truncated"},
+		{"trailing bytes", append(append([]byte(nil), real...), 0), "trailing"},
+		{"bad version", badVersion, "version"},
+		{"checksum flip", badSum, "checksum"},
+		{"flipped cell", flippedCell, "checksum"},
+		{"huge length", hugeLen, "truncated"},
+		{"huge dimensions", hugeDims, "checksum"},
+		{"infinite entry", withInf, "not finite"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeBinary(tc.data, 0)
+		if err == nil {
+			t.Errorf("%s: decode succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q, want it to contain %q", tc.name, err, tc.want)
+		}
+	}
+	// Mismatched dimensions with a recomputed checksum must still fail
+	// on the entry count, not the checksum.
+	if _, err := DecodeBinary(reseal(wrongDims), 0); err == nil || !strings.Contains(err.Error(), "entries") {
+		t.Errorf("wrong dims (resealed): err = %v, want entry-count mismatch", err)
+	}
+}
+
+// reseal recomputes the trailing checksum so corruption tests can
+// target payload semantics instead of tripping the integrity check.
+func reseal(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	n := binary.LittleEndian.Uint64(out[8:16])
+	sum := sha256.Sum256(out[binaryHeaderLen : binaryHeaderLen+int(n)])
+	copy(out[binaryHeaderLen+int(n):], sum[:])
+	return out
+}
+
+func TestDecodeBinaryEnforcesMaxEntriesBeforeAllocating(t *testing.T) {
+	m := binaryTestMatrix(t) // 4x3 = 12 entries
+	data := EncodeBinary(m)
+	if _, err := DecodeBinary(data, 12); err != nil {
+		t.Fatalf("decode at exactly the cap: %v", err)
+	}
+	_, err := DecodeBinary(data, 11)
+	if err == nil || !strings.Contains(err.Error(), "capped") {
+		t.Fatalf("decode over the cap: err = %v, want cap error", err)
+	}
+}
+
+func TestWriteReadBinary(t *testing.T) {
+	m := binaryTestMatrix(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf, 0)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if got.Rows() != m.Rows() || got.Cols() != m.Cols() {
+		t.Fatalf("round trip shape %dx%d, want %dx%d", got.Rows(), got.Cols(), m.Rows(), m.Cols())
+	}
+}
+
+// FuzzBinaryMatrixDecode hardens the untrusted binary-ingest path the
+// same way FuzzLoadCheckpoint hardens DCKP: arbitrary bytes must
+// decode or error, never panic, and a successful decode must uphold
+// the matrix invariants and re-encode canonically.
+func FuzzBinaryMatrixDecode(f *testing.F) {
+	m := New(3, 2)
+	m.Set(0, 0, 1.5)
+	m.Set(0, 1, -2)
+	m.Set(1, 0, 3.25)
+	m.Set(2, 1, 0)
+	real := EncodeBinary(m)
+
+	f.Add(real)
+	f.Add([]byte{})
+	f.Add([]byte("DCMX"))
+	f.Add(real[:15])           // truncated header
+	f.Add(real[:len(real)-20]) // truncated checksum
+	f.Add(append([]byte("JUNK"), real[4:]...))
+	badVersion := append([]byte(nil), real...)
+	binary.LittleEndian.PutUint32(badVersion[4:8], 99)
+	f.Add(badVersion)
+	badSum := append([]byte(nil), real...)
+	badSum[len(badSum)-1] ^= 0xFF
+	f.Add(badSum)
+	hugeLen := append([]byte(nil), real...)
+	binary.LittleEndian.PutUint64(hugeLen[8:16], 1<<60)
+	f.Add(hugeLen)
+	hugeDims := append([]byte(nil), real...)
+	binary.LittleEndian.PutUint64(hugeDims[binaryHeaderLen:], 1<<62)
+	f.Add(reseal(hugeDims)) // oversized section with a valid checksum
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeBinary(data, 1<<20)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if m.IsSpecified(i, j) && math.IsInf(m.Get(i, j), 0) {
+					t.Fatalf("entry (%d,%d) decoded non-finite value", i, j)
+				}
+			}
+		}
+		// Decode → encode → decode must be canonical: the second
+		// encoding reproduces the first byte for byte.
+		enc := EncodeBinary(m)
+		m2, err := DecodeBinary(enc, 1<<20)
+		if err != nil {
+			t.Fatalf("re-decoding a canonical encoding failed: %v", err)
+		}
+		if !bytes.Equal(EncodeBinary(m2), enc) {
+			t.Fatalf("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package matrix
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Builder accumulates rows into a Matrix without an intermediate
+// [][]float64: callers append one row at a time and the builder grows
+// a single row-major backing slice, which Build hands to the Matrix
+// without copying. This is the streaming-ingest primitive behind
+// ReadInto and the service's JSON row decode — a request body is
+// parsed straight into the final representation.
+//
+// The column count anchors on the first appended row; every later row
+// must match it. A positive maxEntries caps rows*cols and is enforced
+// before the backing slice grows past it, so an oversized input fails
+// without ever paying its allocation.
+type Builder struct {
+	cols       int
+	maxEntries int
+	data       []float64
+	rows       int
+	built      bool
+}
+
+// NewBuilder returns an empty builder. maxEntries ≤ 0 means unlimited.
+func NewBuilder(maxEntries int) *Builder {
+	return &Builder{cols: -1, maxEntries: maxEntries}
+}
+
+// Rows returns the number of rows appended so far.
+func (b *Builder) Rows() int { return b.rows }
+
+// Cols returns the anchored column count, or -1 before the first row.
+func (b *Builder) Cols() int { return b.cols }
+
+// AppendRow copies row into the builder. NaN entries are missing; the
+// caller may reuse row's backing array after the call returns.
+func (b *Builder) AppendRow(row []float64) error {
+	if b.built {
+		return fmt.Errorf("matrix: AppendRow after Build")
+	}
+	if b.cols < 0 {
+		if len(row) == 0 {
+			return fmt.Errorf("matrix: first row is empty; need at least one column")
+		}
+		b.cols = len(row)
+	} else if len(row) != b.cols {
+		return fmt.Errorf("matrix: row %d has %d entries, want %d", b.rows, len(row), b.cols)
+	}
+	if b.maxEntries > 0 && (b.rows+1)*b.cols > b.maxEntries {
+		return fmt.Errorf("matrix is %dx%d = %d entries; capped at %d",
+			b.rows+1, b.cols, (b.rows+1)*b.cols, b.maxEntries)
+	}
+	b.data = append(b.data, row...)
+	b.rows++
+	return nil
+}
+
+// Build finalizes the accumulated rows as a Matrix, handing over the
+// backing slice without copying. The builder is spent afterwards:
+// further AppendRow calls fail.
+func (b *Builder) Build() *Matrix {
+	b.built = true
+	cols := b.cols
+	if cols < 0 {
+		cols = 0
+	}
+	m := &Matrix{rows: b.rows, cols: cols, data: b.data}
+	b.data = nil
+	return m
+}
+
+// ReadInto parses delimited text from r straight into b, one record at
+// a time — no [][]float64 or raw-record materialization, so peak
+// memory is one row plus the growing backing slice. It accepts the
+// same strict-mode dialect as Read (Comma, MissingToken, Header,
+// RowLabels; NaN cells load as missing, ±Inf is rejected) but not
+// Quarantine: lenient ingestion needs the full record set for width
+// voting, so quarantined loads go through ReadReport.
+//
+// Labels stream into the builder's matrix via the returned label
+// slices applied by the caller; to keep the API minimal ReadInto drops
+// row/column labels (the service's CSV payloads never carry them — use
+// Read when labels matter).
+func ReadInto(b *Builder, r io.Reader, opts IOOptions) error {
+	if opts.Quarantine {
+		return fmt.Errorf("matrix: ReadInto is strict-mode only; use ReadReport for quarantine")
+	}
+	cr := csv.NewReader(r)
+	cr.Comma = opts.comma()
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	cr.ReuseRecord = true
+
+	if opts.Header {
+		if _, err := cr.Read(); err == io.EOF {
+			return fmt.Errorf("matrix: header requested but input is empty")
+		} else if err != nil {
+			return fmt.Errorf("matrix: reading delimited input: %w", err)
+		}
+	}
+
+	width := -1
+	var vals []float64
+	for i := 0; ; i++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("matrix: reading delimited input: %w", err)
+		}
+		if width < 0 {
+			width = len(rec)
+			dataCols := width
+			if opts.RowLabels {
+				dataCols--
+			}
+			if dataCols < 0 {
+				return fmt.Errorf("matrix: record 0 has no data fields")
+			}
+			vals = make([]float64, dataCols)
+		}
+		if len(rec) != width {
+			return fmt.Errorf("matrix: record %d has %d fields, want %d", i, len(rec), width)
+		}
+		fields := rec
+		if opts.RowLabels {
+			fields = rec[1:]
+		}
+		for j := range vals {
+			vals[j] = math.NaN()
+		}
+		for j, cell := range fields {
+			if cell == "" || (opts.MissingToken != "" && cell == opts.MissingToken) {
+				continue // stays missing
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return fmt.Errorf("matrix: record %d field %d: %w", i, j, err)
+			}
+			if math.IsInf(v, 0) {
+				return fmt.Errorf("matrix: record %d field %d: non-finite value %q", i, j, cell)
+			}
+			if math.IsNaN(v) {
+				continue // NaN is the missing marker; stays missing
+			}
+			vals[j] = v
+		}
+		if err := b.AppendRow(vals); err != nil {
+			return err
+		}
+	}
+}

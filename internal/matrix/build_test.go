@@ -1,0 +1,130 @@
+package matrix
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuilderAppendAndBuild(t *testing.T) {
+	b := NewBuilder(0)
+	if b.Cols() != -1 {
+		t.Fatalf("Cols before first row = %d, want -1", b.Cols())
+	}
+	row := []float64{1, math.NaN(), 3}
+	if err := b.AppendRow(row); err != nil {
+		t.Fatalf("AppendRow: %v", err)
+	}
+	row[0], row[1], row[2] = 4, 5, 6 // builder must have copied
+	if err := b.AppendRow(row); err != nil {
+		t.Fatalf("AppendRow: %v", err)
+	}
+	m := b.Build()
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("built %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	if m.Get(0, 0) != 1 || m.IsSpecified(0, 1) || m.Get(1, 2) != 6 {
+		t.Fatalf("built matrix holds wrong values")
+	}
+	if err := b.AppendRow(row); err == nil {
+		t.Fatalf("AppendRow after Build succeeded, want error")
+	}
+}
+
+func TestBuilderRejectsWidthMismatch(t *testing.T) {
+	b := NewBuilder(0)
+	if err := b.AppendRow([]float64{1, 2}); err != nil {
+		t.Fatalf("AppendRow: %v", err)
+	}
+	if err := b.AppendRow([]float64{1}); err == nil || !strings.Contains(err.Error(), "want 2") {
+		t.Fatalf("ragged append: err = %v, want width mismatch", err)
+	}
+}
+
+func TestBuilderEnforcesMaxEntriesIncrementally(t *testing.T) {
+	b := NewBuilder(5) // 2-wide rows: second row would be 4 entries, third 6
+	if err := b.AppendRow([]float64{1, 2}); err != nil {
+		t.Fatalf("row 0: %v", err)
+	}
+	if err := b.AppendRow([]float64{3, 4}); err != nil {
+		t.Fatalf("row 1: %v", err)
+	}
+	if err := b.AppendRow([]float64{5, 6}); err == nil || !strings.Contains(err.Error(), "capped") {
+		t.Fatalf("row 2: err = %v, want cap error", err)
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	m := NewBuilder(0).Build()
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("empty build is %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestReadIntoMatchesRead(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		opts IOOptions
+	}{
+		{"plain", "1,2,3\n4,,6\nNaN,8,9\n", IOOptions{}},
+		{"tsv missing token", "1\tNA\n3\t4\n", IOOptions{Comma: '\t', MissingToken: "NA"}},
+		{"header and labels", "id,a,b\ng1,1,2\ng2,3,4\n", IOOptions{Header: true, RowLabels: true}},
+	}
+	for _, tc := range cases {
+		want, err := Read(strings.NewReader(tc.data), tc.opts)
+		if err != nil {
+			t.Fatalf("%s: Read: %v", tc.name, err)
+		}
+		b := NewBuilder(0)
+		if err := ReadInto(b, strings.NewReader(tc.data), tc.opts); err != nil {
+			t.Fatalf("%s: ReadInto: %v", tc.name, err)
+		}
+		got := b.Build()
+		if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+			t.Fatalf("%s: shape %dx%d, want %dx%d", tc.name, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+		}
+		for i := 0; i < want.Rows(); i++ {
+			for j := 0; j < want.Cols(); j++ {
+				if got.IsSpecified(i, j) != want.IsSpecified(i, j) {
+					t.Fatalf("%s: entry (%d,%d) specified mismatch", tc.name, i, j)
+				}
+				if want.IsSpecified(i, j) && got.Get(i, j) != want.Get(i, j) {
+					t.Fatalf("%s: entry (%d,%d) = %v, want %v", tc.name, i, j, got.Get(i, j), want.Get(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestReadIntoErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		opts IOOptions
+		want string
+	}{
+		{"ragged", "1,2\n3\n", IOOptions{}, "want 2"},
+		{"bad cell", "1,x\n", IOOptions{}, "field 1"},
+		{"infinite", "1,Inf\n", IOOptions{}, "non-finite"},
+		{"quarantine unsupported", "1,2\n", IOOptions{Quarantine: true}, "strict-mode only"},
+		{"missing header", "", IOOptions{Header: true}, "header requested"},
+	}
+	for _, tc := range cases {
+		err := ReadInto(NewBuilder(0), strings.NewReader(tc.data), tc.opts)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want it to contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadIntoEnforcesCapMidStream(t *testing.T) {
+	b := NewBuilder(4)
+	err := ReadInto(b, strings.NewReader("1,2\n3,4\n5,6\n"), IOOptions{})
+	if err == nil || !strings.Contains(err.Error(), "capped") {
+		t.Fatalf("err = %v, want cap error", err)
+	}
+	if b.Rows() != 2 {
+		t.Fatalf("builder holds %d rows at failure, want 2", b.Rows())
+	}
+}

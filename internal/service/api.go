@@ -1,12 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"deltacluster/internal/bicluster"
@@ -49,15 +52,48 @@ type SubmitRequest struct {
 }
 
 // MatrixPayload carries the input matrix either as dense JSON rows
-// (null marks a missing entry) or as delimited text.
+// (null marks a missing entry) or as delimited text. Large matrices
+// are better submitted through the binary transport (see
+// Content-Type application/x-deltacluster-matrix in server.go), which
+// skips JSON float parsing entirely.
 type MatrixPayload struct {
-	// Rows is the dense encoding: one slice per object, one entry per
-	// attribute, null for missing values.
-	Rows [][]*float64 `json:"rows,omitempty"`
+	// Rows is the dense encoding: one array per object, one number per
+	// attribute, null for missing values. It is held raw and decoded
+	// row-by-row straight into the matrix builder — no [][]*float64
+	// materialization. Use RowsJSON to construct it client-side.
+	Rows json.RawMessage `json:"rows,omitempty"`
 
 	// CSV is the text encoding, parsed exactly like cmd/floc input
 	// (comma-separated, empty cells missing).
 	CSV string `json:"csv,omitempty"`
+}
+
+// RowsJSON renders dense rows as the "rows" payload encoding, with
+// NaN entries encoded as null — the client-side complement of the
+// server's streaming rows decoder. Values must be finite or NaN.
+func RowsJSON(rows [][]float64) json.RawMessage {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, r := range rows {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('[')
+		for j, v := range r {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			if math.IsNaN(v) {
+				buf.WriteString("null")
+			} else {
+				b := buf.AvailableBuffer()
+				buf.Write(strconv.AppendFloat(b, v, 'g', -1, 64))
+			}
+		}
+		buf.WriteByte(']')
+	}
+	buf.WriteByte(']')
+	return buf.Bytes()
 }
 
 // FLOCParams mirrors the floc.Config knobs the service exposes.
@@ -267,7 +303,13 @@ func (s *Server) buildSpec(req *SubmitRequest) (*runSpec, *apiError) {
 	if aerr != nil {
 		return nil, aerr
 	}
+	return s.buildSpecWith(req, m)
+}
 
+// buildSpecWith is buildSpec with the matrix already decoded — the
+// binary transport path, where the matrix arrives as a DCMX section
+// instead of inside the JSON payload.
+func (s *Server) buildSpecWith(req *SubmitRequest, m *matrix.Matrix) (*runSpec, *apiError) {
 	spec := &runSpec{m: m, attempts: 1}
 
 	spec.deadline = s.opts.DefaultDeadline
@@ -389,65 +431,128 @@ func (s *Server) buildSpec(req *SubmitRequest) (*runSpec, *apiError) {
 }
 
 // parseMatrix decodes whichever matrix encoding the payload carries.
+// Both encodings stream record-by-record into a matrix.Builder, so
+// the peak footprint is one row plus the final matrix — never an
+// intermediate [][]float64 — and MaxMatrixEntries is enforced as the
+// matrix grows, before an oversized request pays its allocation.
 func parseMatrix(p *MatrixPayload, maxEntries int) (*matrix.Matrix, *apiError) {
+	hasRows := len(p.Rows) > 0 && !bytes.Equal(bytes.TrimSpace(p.Rows), []byte("null"))
 	switch {
-	case len(p.Rows) > 0 && p.CSV != "":
+	case hasRows && p.CSV != "":
 		return nil, badRequest("matrix: set exactly one of \"rows\" and \"csv\", not both")
-	case len(p.Rows) > 0:
-		cols := len(p.Rows[0])
-		if cols == 0 {
-			return nil, badRequest("matrix.rows[0] is empty; need at least one column")
-		}
-		if maxEntries > 0 && len(p.Rows)*cols > maxEntries {
-			return nil, badRequest("matrix is %dx%d = %d entries; the server caps jobs at %d",
-				len(p.Rows), cols, len(p.Rows)*cols, maxEntries)
-		}
-		rows := make([][]float64, len(p.Rows))
-		for i, r := range p.Rows {
-			if len(r) != cols {
-				return nil, badRequest("matrix.rows[%d] has %d entries, want %d", i, len(r), cols)
-			}
-			row := make([]float64, cols)
-			for j, v := range r {
-				if v == nil {
-					row[j] = math.NaN()
-					continue
-				}
-				if math.IsInf(*v, 0) || math.IsNaN(*v) {
-					return nil, badRequest("matrix.rows[%d][%d] is not finite", i, j)
-				}
-				row[j] = *v
-			}
-			rows[i] = row
-		}
-		m, err := matrix.NewFromRows(rows)
-		if err != nil {
-			return nil, badRequest("matrix: %v", err)
-		}
-		return m, nil
+	case hasRows:
+		return parseRows(p.Rows, maxEntries)
 	case p.CSV != "":
-		m, err := matrix.Read(strings.NewReader(p.CSV), matrix.IOOptions{})
-		if err != nil {
+		b := matrix.NewBuilder(maxEntries)
+		if err := matrix.ReadInto(b, strings.NewReader(p.CSV), matrix.IOOptions{}); err != nil {
 			return nil, badRequest("matrix.csv: %v", err)
 		}
-		if maxEntries > 0 && m.Rows()*m.Cols() > maxEntries {
-			return nil, badRequest("matrix is %dx%d = %d entries; the server caps jobs at %d",
-				m.Rows(), m.Cols(), m.Rows()*m.Cols(), maxEntries)
-		}
-		return m, nil
+		return b.Build(), nil
 	default:
 		return nil, badRequest("matrix: need \"rows\" or \"csv\"")
 	}
 }
 
-// writeJSON renders v with the given status. Encoding errors are
-// unrecoverable mid-response and are ignored by design.
+// parseRows decodes the dense JSON encoding row-by-row. One []float64
+// buffer is reused across rows: before each decode it is prefilled
+// with NaN, and because encoding/json leaves a non-pointer element
+// untouched when it decodes null, an explicit null lands as the NaN
+// missing marker without boxing every cell through *float64. The
+// first row can't use the trick (there is no prefilled backing array
+// yet, and growth zero-fills), so it alone decodes through pointers.
+func parseRows(raw json.RawMessage, maxEntries int) (*matrix.Matrix, *apiError) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, badRequest("matrix.rows: %v", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, badRequest("matrix.rows: want an array of rows")
+	}
+	b := matrix.NewBuilder(maxEntries)
+	cols := -1
+	var buf []float64
+	for i := 0; dec.More(); i++ {
+		if cols < 0 {
+			var first []*float64
+			if err := dec.Decode(&first); err != nil {
+				return nil, badRequest("matrix.rows[%d]: %v", i, err)
+			}
+			cols = len(first)
+			if cols == 0 {
+				return nil, badRequest("matrix.rows[0] is empty; need at least one column")
+			}
+			buf = make([]float64, cols)
+			for j, v := range first {
+				if v == nil {
+					buf[j] = math.NaN()
+					continue
+				}
+				if math.IsInf(*v, 0) || math.IsNaN(*v) {
+					return nil, badRequest("matrix.rows[%d][%d] is not finite", i, j)
+				}
+				buf[j] = *v
+			}
+		} else {
+			buf = buf[:cols]
+			nan := math.NaN()
+			for j := range buf {
+				buf[j] = nan
+			}
+			if err := dec.Decode(&buf); err != nil {
+				return nil, badRequest("matrix.rows[%d]: %v", i, err)
+			}
+			if len(buf) != cols {
+				return nil, badRequest("matrix.rows[%d] has %d entries, want %d", i, len(buf), cols)
+			}
+		}
+		if err := b.AppendRow(buf); err != nil {
+			return nil, badRequest("%v", err)
+		}
+	}
+	if b.Rows() == 0 {
+		return nil, badRequest("matrix: need \"rows\" or \"csv\"")
+	}
+	return b.Build(), nil
+}
+
+// codec is a pooled response encoder: one output buffer and a JSON
+// encoder bound to it, reused across requests so the poll/result hot
+// path allocates neither.
+type codec struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var codecPool = sync.Pool{New: func() any {
+	c := &codec{}
+	c.enc = json.NewEncoder(&c.buf)
+	c.enc.SetIndent("", "  ")
+	return c
+}}
+
+// writeJSON renders v with the given status through a pooled codec,
+// which also makes Content-Length exact. A value that fails to encode
+// (only possible for non-finite floats, which the views never carry)
+// degrades to a bare 500 — nothing partial ever reaches the wire.
+//
+// deltavet:hotpath — every response of the submit, poll, result and
+// metrics paths funnels through here.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	c := codecPool.Get().(*codec)
+	c.buf.Reset()
+	if err := c.enc.Encode(v); err != nil {
+		//deltavet:ignore hotalloc reason=pooled codec recycle; Put boxes an existing pointer, no heap growth
+		codecPool.Put(c)
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(c.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(c.buf.Bytes())
+	//deltavet:ignore hotalloc reason=pooled codec recycle; Put boxes an existing pointer, no heap growth
+	codecPool.Put(c)
 }
 
 // writeError renders the error envelope.

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"deltacluster/internal/matrix"
 )
 
 // BenchmarkServiceThroughput measures end-to-end jobs per second
@@ -41,18 +43,9 @@ func BenchmarkServiceThroughput(b *testing.B) {
 			rows[i][j] = float64(i*10 + j*5)
 		}
 	}
-	payload := make([][]*float64, len(rows))
-	for i, r := range rows {
-		pr := make([]*float64, len(r))
-		for j := range r {
-			v := r[j]
-			pr[j] = &v
-		}
-		payload[i] = pr
-	}
 	req := SubmitRequest{
 		Algorithm: AlgoFLOC,
-		Matrix:    MatrixPayload{Rows: payload},
+		Matrix:    MatrixPayload{Rows: RowsJSON(rows)},
 		FLOC:      &FLOCParams{K: 2, Delta: 40, Seed: 3},
 	}
 	body, err := json.Marshal(&req)
@@ -116,9 +109,8 @@ func BenchmarkSubmitValidation(b *testing.B) {
 		ts.Close()
 	}()
 
-	v := 1.5
 	req := SubmitRequest{
-		Matrix: MatrixPayload{Rows: [][]*float64{{&v, &v}, {&v, &v}}},
+		Matrix: MatrixPayload{Rows: RowsJSON([][]float64{{1.5, 1.5}, {1.5, 1.5}})},
 		FLOC:   &FLOCParams{K: 1, Delta: 5},
 	}
 	body, err := json.Marshal(&req)
@@ -139,4 +131,98 @@ func BenchmarkSubmitValidation(b *testing.B) {
 			b.Fatalf("submit: status %d", resp.StatusCode)
 		}
 	}
+}
+
+// BenchmarkSubmitBinary measures the binary ingest path: a realistic
+// 128x16 matrix as a DSUB envelope, engines stubbed — the float-parse
+// cost JSON pays and DCMX does not is the whole difference.
+func BenchmarkSubmitBinary(b *testing.B) {
+	s := New(Options{Workers: 4, QueueCap: 1 << 20, TTL: time.Hour})
+	s.runHook = func(_ context.Context, _ *runSpec) (*ResultView, error) {
+		return &ResultView{Algorithm: AlgoFLOC}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	rows := make([][]float64, 128)
+	for i := range rows {
+		rows[i] = make([]float64, 16)
+		for j := range rows[i] {
+			rows[i][j] = float64((i*5+j*11)%97) / 3
+		}
+	}
+	m, err := matrix.NewFromRows(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := EncodeBinarySubmit(&SubmitRequest{FLOC: &FLOCParams{K: 1, Delta: 5}}, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/jobs", ContentTypeBinaryMatrix, bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkSubmitBatch measures batch amortization: 32 small jobs per
+// request, one decode pass and one store sweep instead of 32. The
+// figure to compare against is 32x BenchmarkSubmitValidation.
+func BenchmarkSubmitBatch(b *testing.B) {
+	s := New(Options{Workers: 4, QueueCap: 1 << 20, TTL: time.Hour})
+	s.runHook = func(_ context.Context, _ *runSpec) (*ResultView, error) {
+		return &ResultView{Algorithm: AlgoFLOC}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	}()
+
+	const perBatch = 32
+	one := SubmitRequest{
+		Matrix: MatrixPayload{Rows: RowsJSON([][]float64{{1.5, 1.5}, {1.5, 1.5}})},
+		FLOC:   &FLOCParams{K: 1, Delta: 5},
+	}
+	batch := BatchSubmitRequest{Jobs: make([]SubmitRequest, perBatch)}
+	for i := range batch.Jobs {
+		batch.Jobs[i] = one
+	}
+	body, err := json.Marshal(&batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/jobs:batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("batch: status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*perBatch/b.Elapsed().Seconds(), "jobs/sec")
 }

@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"deltacluster/internal/floc"
+	"deltacluster/internal/matrix"
 	"deltacluster/internal/stream"
 )
 
@@ -76,6 +77,10 @@ type DispatchResponse struct {
 // (a retry after a lost response) observes the existing job instead of
 // double-running it.
 func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		s.handleDispatchBinary(w, r)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -90,12 +95,25 @@ func (s *Server) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "decoding dispatch: %v", err)
 		return
 	}
+	s.dispatchCore(w, &req, nil)
+}
+
+// dispatchCore runs a decoded dispatch. m, when non-nil, is the
+// already-decoded matrix of a binary dispatch (the DCMX section);
+// nil means the matrix rides inside req.Submit.Matrix as usual.
+func (s *Server) dispatchCore(w http.ResponseWriter, req *DispatchRequest, m *matrix.Matrix) {
 	if req.ID == "" || len(req.ID) > 128 {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
 			"dispatch id must be 1–128 bytes, got %d", len(req.ID))
 		return
 	}
-	spec, aerr := s.buildSpec(&req.Submit)
+	var spec *runSpec
+	var aerr *apiError
+	if m != nil {
+		spec, aerr = s.buildSpecWith(&req.Submit, m)
+	} else {
+		spec, aerr = s.buildSpec(&req.Submit)
+	}
 	if aerr != nil {
 		writeError(w, aerr.status, aerr.code, "%s", aerr.message)
 		return

@@ -176,6 +176,7 @@ func New(opts Options) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/jobs:batch", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -284,7 +285,13 @@ func (s *Server) logf(format string, args ...any) {
 
 // handleSubmit validates the submission, registers the job, and
 // enqueues it — or bounces with 429 (queue full) or 503 (draining).
+// A Content-Type of application/x-deltacluster-matrix switches to the
+// binary transport (binary.go); everything else is the JSON body.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		s.handleSubmitBinary(w, r)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -319,17 +326,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, SubmitResponse{Job: view})
 }
 
-// enqueue places a freshly registered job on the worker queue. When
-// the node refuses — draining/not-ready (503) or queue full (429) —
-// it rolls the registration back, writes the refusal, and reports
-// false; the caller renders the success response otherwise.
-func (s *Server) enqueue(w http.ResponseWriter, id string) bool {
+// tryEnqueue places a freshly registered job on the worker queue.
+// When the node refuses — draining/not-ready (503) or queue full
+// (429) — it rolls the registration back and returns the refusal for
+// the caller to render (whole-response for a single submit, per-item
+// for a batch).
+func (s *Server) tryEnqueue(id string) *apiError {
 	s.mu.Lock()
 	if s.draining || s.notReady {
 		s.mu.Unlock()
 		s.store.drop(id)
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
-		return false
+		return &apiError{status: http.StatusServiceUnavailable, code: CodeDraining,
+			message: "server is draining"}
 	}
 	select {
 	case s.queue <- id:
@@ -338,13 +346,24 @@ func (s *Server) enqueue(w http.ResponseWriter, id string) bool {
 		s.mu.Unlock()
 		s.store.drop(id)
 		s.metrics.jobRejected()
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
-		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
-			"queue is full (%d jobs waiting); retry later", s.opts.QueueCap)
-		return false
+		return &apiError{status: http.StatusTooManyRequests, code: CodeQueueFull,
+			message: fmt.Sprintf("queue is full (%d jobs waiting); retry later", s.opts.QueueCap)}
 	}
 	s.metrics.jobSubmitted()
-	return true
+	return nil
+}
+
+// enqueue is tryEnqueue rendering its refusal as the whole response.
+func (s *Server) enqueue(w http.ResponseWriter, id string) bool {
+	aerr := s.tryEnqueue(id)
+	if aerr == nil {
+		return true
+	}
+	if aerr.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+	}
+	writeError(w, aerr.status, aerr.code, "%s", aerr.message)
+	return false
 }
 
 // retryAfterSeconds renders a duration as the whole-second value the
@@ -375,6 +394,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res != nil {
+		if acceptsBinary(r.Header.Get("Accept")) {
+			writeBinaryResult(w, res)
+			return
+		}
 		writeJSON(w, http.StatusOK, res)
 		return
 	}

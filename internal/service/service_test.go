@@ -160,20 +160,13 @@ func smallJobRequest(t *testing.T) *SubmitRequest {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := make([][]*float64, ds.Matrix.Rows())
+	rows := make([][]float64, ds.Matrix.Rows())
 	for i := range rows {
-		r := make([]*float64, ds.Matrix.Cols())
-		for j := range r {
-			if ds.Matrix.IsSpecified(i, j) {
-				v := ds.Matrix.Get(i, j)
-				r[j] = &v
-			}
-		}
-		rows[i] = r
+		rows[i] = ds.Matrix.Row(i) // NaN = missing; RowsJSON renders it as null
 	}
 	return &SubmitRequest{
 		Algorithm: AlgoFLOC,
-		Matrix:    MatrixPayload{Rows: rows},
+		Matrix:    MatrixPayload{Rows: RowsJSON(rows)},
 		FLOC:      &FLOCParams{K: 2, Delta: 6, Seed: 7},
 	}
 }

@@ -108,6 +108,25 @@ type store struct {
 	// the first PATCH (or adopted from a coordinator dispatch) and
 	// evicted with the lineage's last job record.
 	lineages map[string]*stream.Log
+
+	// done is the expiry FIFO: every terminal transition appends its
+	// job here, so a sweep only inspects the front of the queue (the
+	// oldest finishers) instead of sorting the whole table — sweep ran
+	// on every submission and used to be O(jobs log jobs), which made
+	// the submit path quadratic over a bench run. Entries are in
+	// finish-time order because each transition records st.now() under
+	// the lock. doneHead indexes the first live entry; consumed
+	// prefixes are compacted away once they dominate the slice. A FIFO
+	// entry is a hint, not ownership: lazy eviction (view/result) may
+	// remove the job first, so sweep re-checks expiry via the jobs map.
+	done     []doneEntry
+	doneHead int
+}
+
+// doneEntry records one terminal transition for the expiry FIFO.
+type doneEntry struct {
+	id string
+	at time.Time
 }
 
 func newJobStore(seed int64, ttl time.Duration, now func() time.Time) *store {
@@ -271,6 +290,16 @@ func (st *store) finish(id string, state JobState, result *ResultView, errMsg st
 	j.result = result
 	j.errMsg = errMsg
 	j.cancel = nil
+	st.markDoneLocked(j)
+}
+
+// markDoneLocked appends a freshly terminal job to the expiry FIFO.
+// With no TTL nothing ever expires, so nothing is queued either.
+func (st *store) markDoneLocked(j *job) {
+	if st.ttl <= 0 {
+		return
+	}
+	st.done = append(st.done, doneEntry{id: j.id, at: j.finished})
 }
 
 // requestCancel marks the job cancelled-on-request. A queued job
@@ -292,6 +321,7 @@ func (st *store) requestCancel(id string) (view JobView, fromQueue, ok bool) {
 			j.state = StateCancelled
 			j.finished = st.now()
 			j.errMsg = "cancelled before start"
+			st.markDoneLocked(j)
 			fromQueue = true
 		} else if j.cancel != nil {
 			j.cancel()
@@ -366,6 +396,7 @@ func (st *store) cancelAllActive() (queued, running int) {
 			j.state = StateCancelled
 			j.finished = st.now()
 			j.errMsg = "cancelled by drain before start"
+			st.markDoneLocked(j)
 			queued++
 		case StateRunning:
 			j.cancelRequested = true
@@ -419,22 +450,37 @@ func (st *store) result(id string) (res *ResultView, view JobView, ok bool) {
 	return j.result, j.viewLocked(), true
 }
 
-// sweep evicts every terminal job whose TTL expired. Iteration order
-// over the map does not affect the outcome (each job is judged
-// independently), but the IDs are sorted anyway to honor the
-// package's determinism discipline.
+// sweep evicts every terminal job whose TTL expired. It pops the
+// expiry FIFO from the front — entries are in finish-time order, so
+// the scan stops at the first entry still inside the TTL. Amortized
+// cost per sweep is O(evictions), independent of table size; the old
+// implementation sorted every stored job ID on every submission.
+// Eviction order still follows finish-time order deterministically.
 func (st *store) sweep() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	ids := make([]string, 0, len(st.jobs))
-	for id := range st.jobs {
-		ids = append(ids, id)
+	if st.ttl <= 0 {
+		return
 	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		if st.expiredLocked(st.jobs[id]) {
-			st.evictLocked(id)
+	now := st.now()
+	for st.doneHead < len(st.done) {
+		e := st.done[st.doneHead]
+		if now.Sub(e.at) <= st.ttl {
+			break
 		}
+		st.doneHead++
+		// Re-check through the jobs map: lazy eviction may have removed
+		// the job already, and an evicted ID could in principle have
+		// been re-minted for a fresher job (which then owns its own
+		// FIFO entry).
+		if j := st.jobs[e.id]; j != nil && st.expiredLocked(j) {
+			st.evictLocked(e.id)
+		}
+	}
+	if st.doneHead > 0 && st.doneHead*2 >= len(st.done) {
+		n := copy(st.done, st.done[st.doneHead:])
+		st.done = st.done[:n]
+		st.doneHead = 0
 	}
 }
 
@@ -443,13 +489,9 @@ func (st *store) countByState() map[JobState]int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	counts := make(map[JobState]int)
-	ids := make([]string, 0, len(st.jobs))
-	for id := range st.jobs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		counts[st.jobs[id].state]++
+	//deltavet:ignore maporder reason=order-independent tally; addition commutes, no per-entry effects
+	for _, j := range st.jobs {
+		counts[j.state]++
 	}
 	return counts
 }

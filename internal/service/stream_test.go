@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"reflect"
 	"testing"
@@ -29,21 +30,21 @@ func streamJobRequest(t *testing.T, seed int64) *SubmitRequest {
 	}
 	m := ds.Matrix
 	rng := stats.NewRNG(seed * 31)
-	rows := make([][]*float64, m.Rows())
+	rows := make([][]float64, m.Rows())
 	for i := range rows {
-		r := make([]*float64, m.Cols())
+		r := make([]float64, m.Cols())
 		for j := range r {
 			if rng.Bool(0.03) {
-				continue // missing
+				r[j] = math.NaN() // missing; RowsJSON renders it as null
+				continue
 			}
-			v := m.Get(i, j)
-			r[j] = &v
+			r[j] = m.Get(i, j)
 		}
 		rows[i] = r
 	}
 	return &SubmitRequest{
 		Algorithm: AlgoFLOC,
-		Matrix:    MatrixPayload{Rows: rows},
+		Matrix:    MatrixPayload{Rows: RowsJSON(rows)},
 		FLOC:      &FLOCParams{K: 4, Delta: 10, Seed: 7, Seeding: "random"},
 	}
 }
